@@ -1,0 +1,169 @@
+//! Criterion microbenchmarks of the substrate components: cache policy
+//! operations, hierarchy traffic, branch prediction, and workload walking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use emissary_cache::cache::Cache;
+use emissary_cache::config::{CacheConfig, HierarchyConfig};
+use emissary_cache::hierarchy::Hierarchy;
+use emissary_cache::line::LineKind;
+use emissary_cache::policy::{AccessInfo, PolicyKind};
+use emissary_cache::rng::XorShift64;
+use emissary_core::spec::PolicySpec;
+use emissary_frontend::{BlockDesc, BranchClass, FetchEngine, FrontendConfig, Tage};
+use emissary_workloads::builder::{build_program, ProgramShape};
+use emissary_workloads::walker::Walker;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policies");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    let kinds = [
+        ("tplru", PolicyKind::TreePlru),
+        ("true_lru", PolicyKind::TrueLru),
+        ("drrip", PolicyKind::Drrip),
+        ("pdp", PolicyKind::Pdp),
+        ("dclip", PolicyKind::Dclip),
+    ];
+    for (name, kind) in kinds {
+        g.bench_function(format!("l2_churn_{name}"), |b| {
+            let cfg = CacheConfig::new("l2", 1024 * 1024, 16, 12);
+            let mut cache = Cache::new(cfg.clone(), kind.build(cfg.sets(), cfg.ways, 1));
+            let mut rng = XorShift64::new(7);
+            let info = AccessInfo::demand(LineKind::Instruction);
+            b.iter(|| {
+                for _ in 0..1000 {
+                    let line = rng.next_below(64 * 1024);
+                    if cache.lookup(line, &info).is_none() {
+                        cache.fill(line, &info);
+                    }
+                }
+                cache.stats().fills
+            });
+        });
+    }
+    // EMISSARY policy churn with priority bit traffic.
+    g.bench_function("l2_churn_emissary_p8", |b| {
+        let cfg = CacheConfig::new("l2", 1024 * 1024, 16, 12);
+        let policy = PolicySpec::PREFERRED.build_l2_policy(cfg.sets(), cfg.ways, 1);
+        let mut cache = Cache::new(cfg, policy);
+        let mut rng = XorShift64::new(7);
+        let info = AccessInfo::demand(LineKind::Instruction);
+        b.iter(|| {
+            for _ in 0..1000 {
+                let line = rng.next_below(64 * 1024);
+                if cache.lookup(line, &info).is_none() {
+                    cache.fill(line, &info);
+                }
+                if rng.one_in(32) {
+                    cache.set_priority(line, true);
+                }
+            }
+            cache.stats().fills
+        });
+    });
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    g.bench_function("mixed_traffic", |b| {
+        let cfg = HierarchyConfig::alderlake_like();
+        let policy = PolicyKind::TreePlru.build(cfg.l2.sets(), cfg.l2.ways, 1);
+        let mut h = Hierarchy::with_l2_policy(cfg, policy);
+        let mut rng = XorShift64::new(3);
+        let mut now = 0u64;
+        b.iter(|| {
+            for _ in 0..1000 {
+                now += 2;
+                if rng.one_in(3) {
+                    h.access_data(100_000 + rng.next_below(16 * 1024), now, rng.one_in(4), false);
+                } else {
+                    h.access_instr(rng.next_below(32 * 1024), now, false);
+                }
+            }
+            h.stats().dram_reads
+        });
+    });
+    g.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    g.bench_function("tage_update", |b| {
+        let mut t = Tage::new();
+        let mut rng = XorShift64::new(11);
+        b.iter(|| {
+            let mut correct = 0u32;
+            for _ in 0..1000 {
+                let pc = 0x4000 + (rng.next_below(256) << 4);
+                let taken = rng.one_in(3);
+                if t.update(pc, taken) {
+                    correct += 1;
+                }
+            }
+            correct
+        });
+    });
+    g.bench_function("fetch_engine_predict", |b| {
+        let mut e = FetchEngine::new(FrontendConfig::default());
+        let mut rng = XorShift64::new(13);
+        b.iter(|| {
+            let mut misp = 0u32;
+            for _ in 0..1000 {
+                let start = 0x40_0000 + (rng.next_below(4096) << 5);
+                let block = BlockDesc {
+                    start,
+                    num_instrs: 8,
+                    kind: BranchClass::CondDirect,
+                    taken_target: start + 0x200,
+                    taken: rng.one_in(2),
+                };
+                if e.predict_block(&block).mispredicted {
+                    misp += 1;
+                }
+            }
+            misp
+        });
+    });
+    g.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    g.bench_function("walker_emit", |b| {
+        let program = build_program(&ProgramShape::tiny());
+        let mut w = Walker::new(&program, 1);
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let mut n = 0u64;
+            for _ in 0..1000 {
+                buf.clear();
+                w.emit_block(&mut buf);
+                n += buf.len() as u64;
+            }
+            n
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_hierarchy,
+    bench_frontend,
+    bench_workloads
+);
+criterion_main!(benches);

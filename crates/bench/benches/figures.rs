@@ -1,0 +1,93 @@
+//! Criterion benches: one per paper table/figure.
+//!
+//! Each bench runs a scaled-down kernel of the corresponding experiment
+//! (the full-length reproductions are the `fig*`/`table5`/`ideal_l2`
+//! binaries). Timings here track simulator throughput per experiment
+//! configuration, so regressions in any policy path show up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use emissary_core::spec::PolicySpec;
+use emissary_sim::{run_sim, SimConfig};
+use emissary_workloads::Profile;
+
+fn quick_cfg() -> SimConfig {
+    SimConfig {
+        warmup_instrs: 2_000,
+        measure_instrs: 20_000,
+        ..SimConfig::default()
+    }
+}
+
+fn run(profile: &str, cfg: &SimConfig) -> u64 {
+    let p = Profile::by_name(profile).expect("profile");
+    run_sim(&p, cfg).cycles
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    // Figure 1 kernel: tomcat, true-LRU environment, preferred EMISSARY.
+    g.bench_function("fig1_tomcat_true_lru", |b| {
+        let mut cfg = SimConfig::figure1();
+        cfg.warmup_instrs = 2_000;
+        cfg.measure_instrs = 20_000;
+        cfg.l2_policy = PolicySpec::PREFERRED;
+        b.iter(|| run("tomcat", &cfg));
+    });
+
+    // Figures 2/3/4 kernel: baseline characterization with reuse tracking.
+    g.bench_function("fig2_fig3_fig4_baseline_characterization", |b| {
+        let cfg = quick_cfg();
+        b.iter(|| run("specjbb", &cfg));
+    });
+
+    // Table 5 kernel: a mid-grid EMISSARY configuration.
+    g.bench_function("table5_p10_se_r32", |b| {
+        let cfg = quick_cfg().with_policy("P(10):S&E&R(1/32)".parse().unwrap());
+        b.iter(|| run("finagle-http", &cfg));
+    });
+
+    // Figure 5 kernel: the N = 14 extreme (dual-tree stress).
+    g.bench_function("fig5_p14_se", |b| {
+        let cfg = quick_cfg().with_policy("P(14):S&E".parse().unwrap());
+        b.iter(|| run("verilator", &cfg));
+    });
+
+    // Figure 6 kernel: preferred EMISSARY vs baseline stall accounting.
+    g.bench_function("fig6_preferred_emissary", |b| {
+        let cfg = quick_cfg().with_policy(PolicySpec::PREFERRED);
+        b.iter(|| run("data-serving", &cfg));
+    });
+
+    // Figure 7 kernels: each prior-work policy class once.
+    for policy in ["M:0", "M:R(1/32)", "SRRIP", "BRRIP", "DRRIP", "PDP", "DCLIP"] {
+        g.bench_function(format!("fig7_{policy}"), |b| {
+            let cfg = quick_cfg().with_policy(policy.parse().unwrap());
+            b.iter(|| run("wikipedia", &cfg));
+        });
+    }
+
+    // Figure 8 kernel: saturation-prone P(8):S&E plus the §6 reset.
+    g.bench_function("fig8_p8_se_with_reset", |b| {
+        let mut cfg = quick_cfg().with_policy("P(8):S&E".parse().unwrap());
+        cfg.priority_reset_interval = Some(5_000);
+        b.iter(|| run("tomcat", &cfg));
+    });
+
+    // §5.6 kernel: ideal zero-cycle-miss L2.
+    g.bench_function("ideal_l2_zero_cycle_miss", |b| {
+        let mut cfg = quick_cfg();
+        cfg.hierarchy.ideal_l2_instr = true;
+        b.iter(|| run("tomcat", &cfg));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

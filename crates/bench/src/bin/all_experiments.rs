@@ -1,0 +1,33 @@
+//! Runs every experiment in sequence (full reproduction sweep).
+//!
+//! Expect this to take a while at default run lengths; scale down with
+//! `EMISSARY_MEASURE_INSNS` for a quick pass.
+
+use emissary_bench::experiments;
+
+fn main() {
+    let cfg = emissary_bench::base_config();
+    eprintln!(
+        "running all experiments: warmup={} measure={} threads={}",
+        cfg.warmup_instrs,
+        cfg.measure_instrs,
+        emissary_bench::threads()
+    );
+    type Runner<'a> = Box<dyn Fn() -> experiments::Experiment + 'a>;
+    let runs: Vec<(&str, Runner)> = vec![
+        ("fig1", Box::new(|| experiments::fig1(&cfg))),
+        ("fig2", Box::new(|| experiments::fig2(&cfg))),
+        ("fig3", Box::new(|| experiments::fig3(&cfg))),
+        ("fig4", Box::new(|| experiments::fig4(&cfg))),
+        ("table5", Box::new(|| experiments::table5(&cfg))),
+        ("fig5", Box::new(|| experiments::fig5(&cfg))),
+        ("fig6", Box::new(|| experiments::fig6(&cfg))),
+        ("fig7", Box::new(|| experiments::fig7(&cfg))),
+        ("fig8", Box::new(|| experiments::fig8(&cfg, true))),
+        ("ideal_l2", Box::new(|| experiments::ideal_l2(&cfg))),
+    ];
+    for (name, run) in runs {
+        eprintln!("=== {name} ===");
+        print!("{}", run().render());
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates the paper's Figure 6 (see DESIGN.md §4).
+//!
+//! Run length scales via `EMISSARY_MEASURE_INSNS` / `EMISSARY_WARMUP_INSNS`.
+
+fn main() {
+    let cfg = emissary_bench::base_config();
+    eprintln!(
+        "running with warmup={} measure={} threads={}",
+        cfg.warmup_instrs,
+        cfg.measure_instrs,
+        emissary_bench::threads()
+    );
+    let exp = emissary_bench::experiments::fig6(&cfg);
+    print!("{}", exp.render());
+}

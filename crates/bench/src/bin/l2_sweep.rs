@@ -1,0 +1,58 @@
+//! L2-capacity sweep: the paper's premise made measurable.
+//!
+//! §5.3 chooses workloads "because they have larger code footprints and do
+//! not easily fit into the larger L2 caches of modern processors", and §5.5
+//! notes EMISSARY matters "in a scenario where L2 capacity is limited".
+//! This harness sweeps the L2 from 256 KB to 4 MB on two representative
+//! benchmarks and reports baseline IPC, L2 instruction MPKI, and the
+//! preferred EMISSARY configuration's speedup at each point — the gain
+//! should shrink as the footprint fits.
+//!
+//! Run length scales via `EMISSARY_MEASURE_INSNS` / `EMISSARY_WARMUP_INSNS`.
+
+use emissary_cache::config::CacheConfig;
+use emissary_core::spec::PolicySpec;
+use emissary_sim::run_sim;
+use emissary_stats::summary::speedup_pct;
+use emissary_stats::table::{fixed, Table};
+use emissary_workloads::Profile;
+
+fn main() {
+    let base_cfg = emissary_bench::base_config();
+    eprintln!(
+        "l2 sweep: warmup={} measure={}",
+        base_cfg.warmup_instrs, base_cfg.measure_instrs
+    );
+    println!("# L2 capacity sweep — EMISSARY gain vs cache pressure\n");
+    for bench in ["verilator", "tomcat"] {
+        let profile = Profile::by_name(bench).expect("profile");
+        let mut t = Table::with_headers(&[
+            "l2_kb",
+            "baseline_ipc",
+            "baseline_l2i_mpki",
+            "emissary_speedup%",
+            "emissary_l2i_mpki",
+        ]);
+        for l2_kb in [256u64, 512, 1024, 2048, 4096] {
+            let mut cfg = base_cfg.clone();
+            cfg.hierarchy.l2 = CacheConfig::new("l2", l2_kb * 1024, 16, 12);
+            // Keep the exclusive L3 at 2x the L2, as in the default model.
+            cfg.hierarchy.l3 = CacheConfig::new("l3", 2 * l2_kb * 1024, 16, 32);
+            let base = run_sim(&profile, &cfg.clone().with_policy(PolicySpec::BASELINE));
+            let emis = run_sim(&profile, &cfg.with_policy(PolicySpec::PREFERRED));
+            t.row(vec![
+                l2_kb.to_string(),
+                fixed(base.ipc(), 3),
+                fixed(base.l2i_mpki, 2),
+                fixed(
+                    speedup_pct(base.cycles as f64 / emis.cycles as f64),
+                    2,
+                ),
+                fixed(emis.l2i_mpki, 2),
+            ]);
+        }
+        println!("## {bench}\n");
+        print!("{}", t.render());
+        println!("\nTSV:\n{}", t.render_tsv());
+    }
+}

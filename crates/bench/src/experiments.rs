@@ -1,0 +1,747 @@
+//! One experiment per paper table/figure. See DESIGN.md §4 for the index.
+//!
+//! Every function takes a [`SimConfig`] template (run lengths and model
+//! already set) and returns an [`Experiment`] holding rendered tables. The
+//! binaries in `src/bin/` print them; the Criterion benches run them with
+//! tiny windows.
+
+use std::collections::HashMap;
+
+use emissary_core::selection::SelectionExpr;
+use emissary_core::spec::PolicySpec;
+use emissary_sim::{SimConfig, SimReport};
+use emissary_stats::summary::{geomean, speedup_pct};
+use emissary_stats::table::{fixed, pct_value, Table};
+use emissary_workloads::Profile;
+
+use crate::{run_parallel, Job};
+
+/// A titled collection of result tables.
+#[derive(Debug)]
+pub struct Experiment {
+    /// Human-readable experiment title.
+    pub title: String,
+    /// `(caption, table)` pairs.
+    pub tables: Vec<(String, Table)>,
+}
+
+impl Experiment {
+    /// Renders the whole experiment (aligned tables + TSV blocks).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n\n", self.title));
+        for (caption, table) in &self.tables {
+            out.push_str(&format!("## {caption}\n\n"));
+            out.push_str(&table.render());
+            out.push_str("\nTSV:\n");
+            out.push_str(&table.render_tsv());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The paper's preferred EMISSARY configuration.
+pub fn preferred() -> PolicySpec {
+    PolicySpec::PREFERRED
+}
+
+fn parse(s: &str) -> PolicySpec {
+    s.parse().unwrap_or_else(|e| panic!("bad policy {s:?}: {e}"))
+}
+
+/// Runs `policies` x `profiles` on the template, returning
+/// `(benchmark, policy-string) -> report`.
+pub fn run_matrix(
+    profiles: &[Profile],
+    template: &SimConfig,
+    policies: &[PolicySpec],
+) -> HashMap<(String, String), SimReport> {
+    let jobs: Vec<Job> = profiles
+        .iter()
+        .flat_map(|p| {
+            policies
+                .iter()
+                .map(move |&pol| Job::new(p.clone(), template, pol))
+        })
+        .collect();
+    let reports = run_parallel(&jobs);
+    reports
+        .into_iter()
+        .map(|r| ((r.benchmark.clone(), r.policy.clone()), r))
+        .collect()
+}
+
+fn get<'a>(
+    matrix: &'a HashMap<(String, String), SimReport>,
+    bench: &str,
+    policy: &PolicySpec,
+) -> &'a SimReport {
+    matrix
+        .get(&(bench.to_string(), policy.to_string()))
+        .unwrap_or_else(|| panic!("missing run {bench}/{policy}"))
+}
+
+/// Geomean % speedup of `policy` over `baseline` across benchmarks.
+fn geomean_speedup(
+    matrix: &HashMap<(String, String), SimReport>,
+    benches: &[&str],
+    baseline: &PolicySpec,
+    policy: &PolicySpec,
+) -> f64 {
+    let ratios: Vec<f64> = benches
+        .iter()
+        .map(|b| {
+            let base = get(matrix, b, baseline);
+            let pol = get(matrix, b, policy);
+            base.cycles as f64 / pol.cycles as f64
+        })
+        .collect();
+    speedup_pct(geomean(&ratios).expect("positive cycle ratios"))
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
+/// Figure 1: tomcat on a 1M 16-way true-LRU L2 with no prefetchers —
+/// speedup vs. L2 instruction MPKI, decode rate, L2 data MPKI, issue rate
+/// for the policy progression that motivates persistence.
+pub fn fig1(template: &SimConfig) -> Experiment {
+    let mut cfg = SimConfig::figure1();
+    cfg.warmup_instrs = template.warmup_instrs;
+    cfg.measure_instrs = template.measure_instrs;
+    let policies = [
+        parse("M:1"),
+        parse("M:S"),
+        parse("P(8):S"),
+        parse("P(8):S&E"),
+        parse("P(8):S&E&R(1/32)"),
+    ];
+    let tomcat = Profile::by_name("tomcat").expect("tomcat profile");
+    let matrix = run_matrix(std::slice::from_ref(&tomcat), &cfg, &policies);
+    let baseline = get(&matrix, "tomcat", &policies[0]);
+    let base_cycles = baseline.cycles;
+    let mut t = Table::with_headers(&[
+        "policy",
+        "speedup",
+        "l2_instr_mpki",
+        "decode_rate",
+        "l2_data_mpki",
+        "issue_rate",
+        "starv_cycles",
+    ]);
+    for p in &policies {
+        let r = get(&matrix, "tomcat", p);
+        t.row(vec![
+            p.to_string(),
+            pct_value(speedup_pct(base_cycles as f64 / r.cycles as f64)),
+            fixed(r.l2i_mpki, 3),
+            fixed(r.decode_rate(), 4),
+            fixed(r.l2d_mpki, 3),
+            fixed(r.issue_rate(), 4),
+            r.starvation_cycles.to_string(),
+        ]);
+    }
+    Experiment {
+        title: "Figure 1 — persistence motivation on tomcat (true LRU, no prefetchers)".into(),
+        tables: vec![("tomcat policy progression".into(), t)],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+/// Figure 2: reuse-distance mix of committed-path line accesses, the share
+/// of L2 instruction misses from long-reuse lines, and the distribution of
+/// starvation cycles across reuse classes.
+pub fn fig2(template: &SimConfig) -> Experiment {
+    let profiles = Profile::all();
+    let matrix = run_matrix(&profiles, template, &[PolicySpec::BASELINE]);
+    let mut t = Table::with_headers(&[
+        "benchmark",
+        "acc_short%",
+        "acc_mid%",
+        "acc_long%",
+        "l2_misses_from_long%",
+        "starve_short%",
+        "starve_mid%",
+        "starve_long%",
+    ]);
+    let mut avg = [0.0f64; 7];
+    for p in &profiles {
+        let r = get(&matrix, p.name, &PolicySpec::BASELINE);
+        let total_acc =
+            (r.reuse_attribution.long_accesses + r.reuse_attribution.other_accesses).max(1) as f64;
+        // Access mix from the tracker (cold counts as long, like the
+        // attribution path).
+        let short = r.reuse.short as f64;
+        let mid = r.reuse.mid as f64;
+        let long = (r.reuse.long + r.reuse.cold) as f64;
+        let acc_total = (short + mid + long).max(1.0);
+        let misses =
+            (r.reuse_attribution.l2_miss_long + r.reuse_attribution.l2_miss_other).max(1) as f64;
+        let starv = (r.reuse_attribution.starve_short
+            + r.reuse_attribution.starve_mid
+            + r.reuse_attribution.starve_long)
+            .max(1) as f64;
+        let row = [
+            short / acc_total * 100.0,
+            mid / acc_total * 100.0,
+            long / acc_total * 100.0,
+            r.reuse_attribution.l2_miss_long as f64 / misses * 100.0,
+            r.reuse_attribution.starve_short as f64 / starv * 100.0,
+            r.reuse_attribution.starve_mid as f64 / starv * 100.0,
+            r.reuse_attribution.starve_long as f64 / starv * 100.0,
+        ];
+        let _ = total_acc;
+        for (a, v) in avg.iter_mut().zip(row) {
+            *a += v / profiles.len() as f64;
+        }
+        let mut cells = vec![p.name.to_string()];
+        cells.extend(row.iter().map(|v| fixed(*v, 1)));
+        t.row(cells);
+    }
+    let mut cells = vec!["average".to_string()];
+    cells.extend(avg.iter().map(|v| fixed(*v, 1)));
+    t.row(cells);
+    Experiment {
+        title: "Figure 2 — reuse-distance mix, long-reuse L2 misses, starvation attribution"
+            .into(),
+        tables: vec![("per-benchmark reuse behaviour (TPLRU+FDIP baseline)".into(), t)],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------------
+
+/// Figure 3: L1I / L1D / L2-instruction / L2-data MPKI per benchmark on the
+/// TPLRU + FDIP baseline.
+pub fn fig3(template: &SimConfig) -> Experiment {
+    let profiles = Profile::all();
+    let matrix = run_matrix(&profiles, template, &[PolicySpec::BASELINE]);
+    let mut t = Table::with_headers(&[
+        "benchmark",
+        "l1i_mpki",
+        "l1d_mpki",
+        "l2_instr_mpki",
+        "l2_data_mpki",
+    ]);
+    let mut sums = [0.0f64; 4];
+    for p in &profiles {
+        let r = get(&matrix, p.name, &PolicySpec::BASELINE);
+        let row = [r.l1i_mpki, r.l1d_mpki, r.l2i_mpki, r.l2d_mpki];
+        for (s, v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+        let mut cells = vec![p.name.to_string()];
+        cells.extend(row.iter().map(|v| fixed(*v, 2)));
+        t.row(cells);
+    }
+    let mut cells = vec!["average".to_string()];
+    cells.extend(sums.iter().map(|s| fixed(s / profiles.len() as f64, 2)));
+    t.row(cells);
+    Experiment {
+        title: "Figure 3 — cache MPKIs on the TPLRU + FDIP baseline".into(),
+        tables: vec![("per-benchmark MPKI".into(), t)],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------------
+
+/// Figure 4: instruction footprint (MB of unique cache lines touched).
+pub fn fig4(template: &SimConfig) -> Experiment {
+    let profiles = Profile::all();
+    let matrix = run_matrix(&profiles, template, &[PolicySpec::BASELINE]);
+    let mut t = Table::with_headers(&["benchmark", "instr_footprint_mb"]);
+    let mut sum = 0.0;
+    for p in &profiles {
+        let r = get(&matrix, p.name, &PolicySpec::BASELINE);
+        let mb = r.footprint_bytes as f64 / (1024.0 * 1024.0);
+        sum += mb;
+        t.row(vec![p.name.to_string(), fixed(mb, 2)]);
+    }
+    t.row(vec![
+        "average".to_string(),
+        fixed(sum / profiles.len() as f64, 2),
+    ]);
+    Experiment {
+        title: "Figure 4 — instruction footprints".into(),
+        tables: vec![("unique instruction lines touched x 64 B".into(), t)],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 5
+// ---------------------------------------------------------------------------
+
+/// A named factory producing a `P(N)` policy for a given `N`.
+pub type PolicyColumn = (String, Box<dyn Fn(usize) -> PolicySpec>);
+
+/// Column labels of Table 5, in the paper's order.
+pub fn table5_columns() -> Vec<PolicyColumn> {
+    fn protect(n: usize, sel: SelectionExpr) -> PolicySpec {
+        PolicySpec::Protect { n, selection: sel }
+    }
+    let mut cols: Vec<PolicyColumn> = Vec::new();
+    cols.push((
+        "S&E".to_string(),
+        Box::new(|n| protect(n, SelectionExpr::STARVATION_EMPTY_IQ)),
+    ));
+    for r in [2u32, 8, 16, 32, 64] {
+        cols.push((
+            format!("R(1/{r})"),
+            Box::new(move |n| protect(n, SelectionExpr::random(r))),
+        ));
+    }
+    for r in [2u32, 8, 16, 32, 64] {
+        cols.push((
+            format!("S&E&R(1/{r})"),
+            Box::new(move |n| {
+                protect(
+                    n,
+                    SelectionExpr::Conj {
+                        starvation: true,
+                        empty_iq: true,
+                        random_one_in: Some(r),
+                    },
+                )
+            }),
+        ));
+    }
+    cols
+}
+
+/// Table 5: geomean speedup over the LRU+FDIP baseline across all 13
+/// benchmarks for `r` in {1/2..1/64} and `N` in {2..14}, plus the paper's
+/// "#Best" row and column.
+pub fn table5(template: &SimConfig) -> Experiment {
+    let profiles = Profile::all();
+    let bench_names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+    let ns = [2usize, 4, 6, 8, 10, 12, 14];
+    let cols = table5_columns();
+    let mut policies = vec![PolicySpec::BASELINE];
+    for &n in &ns {
+        for (_, make) in &cols {
+            policies.push(make(n));
+        }
+    }
+    policies.sort_by_key(|p| p.to_string());
+    policies.dedup();
+    let matrix = run_matrix(&profiles, template, &policies);
+    // Geomean grid.
+    let mut grid: Vec<Vec<f64>> = Vec::new();
+    for &n in &ns {
+        let row: Vec<f64> = cols
+            .iter()
+            .map(|(_, make)| {
+                geomean_speedup(&matrix, &bench_names, &PolicySpec::BASELINE, &make(n))
+            })
+            .collect();
+        grid.push(row);
+    }
+    // "#Best": count of per-column maxima in each row and vice versa.
+    let col_best: Vec<usize> = (0..cols.len())
+        .map(|c| {
+            (0..ns.len())
+                .max_by(|&a, &b| grid[a][c].total_cmp(&grid[b][c]))
+                .expect("non-empty")
+        })
+        .collect();
+    let row_best: Vec<usize> = (0..ns.len())
+        .map(|r| {
+            (0..cols.len())
+                .max_by(|&a, &b| grid[r][a].total_cmp(&grid[r][b]))
+                .expect("non-empty")
+        })
+        .collect();
+    let mut headers = vec!["P(N)".to_string()];
+    headers.extend(cols.iter().map(|(name, _)| name.clone()));
+    headers.push("#Best".to_string());
+    let mut t = Table::new(headers);
+    for (ri, &n) in ns.iter().enumerate() {
+        let mut cells = vec![n.to_string()];
+        cells.extend(grid[ri].iter().map(|v| fixed(*v, 3)));
+        let best_in_row = col_best.iter().filter(|&&b| b == ri).count();
+        cells.push(best_in_row.to_string());
+        t.row(cells);
+    }
+    let mut cells = vec!["#Best".to_string()];
+    for c in 0..cols.len() {
+        cells.push(row_best.iter().filter(|&&b| b == c).count().to_string());
+    }
+    cells.push("-".to_string());
+    t.row(cells);
+    Experiment {
+        title: "Table 5 — geomean speedup (%) vs LRU+FDIP baseline over r and N".into(),
+        tables: vec![("P(N) policy grid".into(), t)],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------------
+
+/// Figure 5: per-benchmark speedup vs. L2-instruction MPKI and vs. change
+/// in starvation (decode + empty IQ) for the six line-policies as `N`
+/// sweeps 0..14 (tpcc omitted, as in the paper).
+pub fn fig5(template: &SimConfig) -> Experiment {
+    let profiles: Vec<Profile> = Profile::all()
+        .into_iter()
+        .filter(|p| p.name != "tpcc")
+        .collect();
+    let ns = [0usize, 2, 4, 6, 8, 10, 12, 14];
+    let m_policies = [parse("M:0"), parse("M:R(1/32)"), parse("M:S&E"), parse("M:S&E&R(1/32)")];
+    type Family = (&'static str, Box<dyn Fn(usize) -> PolicySpec>);
+    let p_families: Vec<Family> = vec![
+        ("P(N):R(1/32)", Box::new(|n| parse(&format!("P({n}):R(1/32)")))),
+        ("P(N):S&E", Box::new(|n| parse(&format!("P({n}):S&E")))),
+        (
+            "P(N):S&E&R(1/32)",
+            Box::new(|n| parse(&format!("P({n}):S&E&R(1/32)"))),
+        ),
+    ];
+    let mut policies = vec![PolicySpec::BASELINE];
+    policies.extend(m_policies);
+    for (_, make) in &p_families {
+        for &n in &ns {
+            policies.push(make(n));
+        }
+    }
+    policies.sort_by_key(|p| p.to_string());
+    policies.dedup();
+    let matrix = run_matrix(&profiles, template, &policies);
+    let mut t = Table::with_headers(&[
+        "benchmark",
+        "policy",
+        "speedup",
+        "l2_instr_mpki",
+        "delta_starvation_empty_iq%",
+    ]);
+    for p in &profiles {
+        let base = get(&matrix, p.name, &PolicySpec::BASELINE);
+        let mut add_row = |policy: &PolicySpec| {
+            let r = get(&matrix, p.name, policy);
+            let d_starve = emissary_stats::summary::pct_change(
+                base.starvation_empty_iq_cycles as f64,
+                r.starvation_empty_iq_cycles as f64,
+            );
+            t.row(vec![
+                p.name.to_string(),
+                policy.to_string(),
+                pct_value(speedup_pct(base.cycles as f64 / r.cycles as f64)),
+                fixed(r.l2i_mpki, 3),
+                fixed(d_starve, 1),
+            ]);
+        };
+        for mp in &m_policies {
+            add_row(mp);
+        }
+        for (_, make) in &p_families {
+            for &n in &ns {
+                add_row(&make(n));
+            }
+        }
+    }
+    Experiment {
+        title: "Figure 5 — speedup vs MPKI and vs starvation change, N sweep".into(),
+        tables: vec![("per-benchmark policy series".into(), t)],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------------
+
+/// Figure 6: reduction in commit-path FE / BE / total stall cycles of
+/// P(8):S&E&R(1/32) relative to the TPLRU+FDIP baseline.
+pub fn fig6(template: &SimConfig) -> Experiment {
+    let profiles = Profile::all();
+    let policies = [PolicySpec::BASELINE, preferred()];
+    let matrix = run_matrix(&profiles, template, &policies);
+    let mut t = Table::with_headers(&[
+        "benchmark",
+        "fe_stall_reduction%",
+        "be_stall_reduction%",
+        "total_stall_reduction%",
+    ]);
+    let mut avg = [0.0f64; 3];
+    for p in &profiles {
+        let base = get(&matrix, p.name, &PolicySpec::BASELINE);
+        let emis = get(&matrix, p.name, &preferred());
+        let row = [
+            emissary_stats::summary::pct_reduction(
+                base.fe_stall_cycles as f64,
+                emis.fe_stall_cycles as f64,
+            ),
+            emissary_stats::summary::pct_reduction(
+                base.be_stall_cycles as f64,
+                emis.be_stall_cycles as f64,
+            ),
+            emissary_stats::summary::pct_reduction(
+                base.total_stall_cycles() as f64,
+                emis.total_stall_cycles() as f64,
+            ),
+        ];
+        for (a, v) in avg.iter_mut().zip(row) {
+            *a += v / profiles.len() as f64;
+        }
+        let mut cells = vec![p.name.to_string()];
+        cells.extend(row.iter().map(|v| fixed(*v, 2)));
+        t.row(cells);
+    }
+    let mut cells = vec!["average".to_string()];
+    cells.extend(avg.iter().map(|v| fixed(*v, 2)));
+    t.row(cells);
+    Experiment {
+        title: "Figure 6 — stall-cycle reduction of P(8):S&E&R(1/32) vs baseline".into(),
+        tables: vec![("commit-path stall reductions".into(), t)],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------------
+
+/// The 12 comparison techniques of Figure 7, in the paper's legend order.
+pub fn fig7_policies() -> Vec<PolicySpec> {
+    vec![
+        parse("M:0"),
+        parse("DCLIP"),
+        parse("SRRIP"),
+        parse("BRRIP"),
+        parse("DRRIP"),
+        parse("PDP"),
+        parse("M:R(1/32)"),
+        parse("M:S&E"),
+        parse("M:S&E&R(1/32)"),
+        parse("P(8):R(1/32)"),
+        parse("P(8):S&E"),
+        parse("P(8):S&E&R(1/32)"),
+    ]
+}
+
+/// Figure 7: speedup and energy reduction of every technique relative to
+/// the TPLRU + FDIP baseline, per benchmark plus geomean.
+pub fn fig7(template: &SimConfig) -> Experiment {
+    let profiles = Profile::all();
+    let bench_names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+    let mut policies = fig7_policies();
+    policies.insert(0, PolicySpec::BASELINE);
+    let matrix = run_matrix(&profiles, template, &policies);
+    let techniques = fig7_policies();
+
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(techniques.iter().map(|p| p.to_string()));
+    let mut speed = Table::new(headers.clone());
+    let mut energy = Table::new(headers);
+    for p in &profiles {
+        let base = get(&matrix, p.name, &PolicySpec::BASELINE);
+        let mut srow = vec![p.name.to_string()];
+        let mut erow = vec![p.name.to_string()];
+        for tech in &techniques {
+            let r = get(&matrix, p.name, tech);
+            srow.push(fixed(
+                speedup_pct(base.cycles as f64 / r.cycles as f64),
+                2,
+            ));
+            erow.push(fixed(
+                (base.energy_pj - r.energy_pj) / base.energy_pj * 100.0,
+                2,
+            ));
+        }
+        speed.row(srow);
+        energy.row(erow);
+    }
+    // Geomean rows.
+    let mut srow = vec!["geomean".to_string()];
+    let mut erow = vec!["geomean".to_string()];
+    for tech in &techniques {
+        srow.push(fixed(
+            geomean_speedup(&matrix, &bench_names, &PolicySpec::BASELINE, tech),
+            2,
+        ));
+        let ratios: Vec<f64> = bench_names
+            .iter()
+            .map(|b| {
+                let base = get(&matrix, b, &PolicySpec::BASELINE);
+                let r = get(&matrix, b, tech);
+                r.energy_pj / base.energy_pj
+            })
+            .collect();
+        let g = geomean(&ratios).expect("positive energies");
+        erow.push(fixed((1.0 - g) * 100.0, 2));
+    }
+    speed.row(srow);
+    energy.row(erow);
+    Experiment {
+        title: "Figure 7 — speedup and energy reduction vs TPLRU+FDIP baseline".into(),
+        tables: vec![
+            ("speedup (%)".into(), speed),
+            ("energy reduction (%)".into(), energy),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8
+// ---------------------------------------------------------------------------
+
+/// Figure 8: distribution of per-set high-priority line counts for
+/// P(8):S&E vs P(8):S&E&R(1/32), averaged across benchmarks at the end of
+/// simulation. With `with_reset`, adds a run using the §6 reset mechanism
+/// and reports its performance impact.
+pub fn fig8(template: &SimConfig, with_reset: bool) -> Experiment {
+    let profiles = Profile::all();
+    let policies = [parse("P(8):S&E"), parse("P(8):S&E&R(1/32)")];
+    let matrix = run_matrix(&profiles, template, &policies);
+    let mut t = Table::with_headers(&[
+        "high_priority_lines_per_set",
+        "P(8):S&E  % of sets",
+        "P(8):S&E&R(1/32)  % of sets",
+    ]);
+    let mut dist = [[0.0f64; 9]; 2];
+    for (pi, pol) in policies.iter().enumerate() {
+        for p in &profiles {
+            let r = get(&matrix, p.name, pol);
+            let total: u64 = r.priority_histogram.iter().sum();
+            for (bucket, &count) in r.priority_histogram.iter().enumerate() {
+                let b = bucket.min(8);
+                dist[pi][b] += count as f64 / total.max(1) as f64 / profiles.len() as f64;
+            }
+        }
+    }
+    for (b, (d0, d1)) in dist[0].iter().zip(&dist[1]).enumerate() {
+        t.row(vec![
+            b.to_string(),
+            fixed(d0 * 100.0, 2),
+            fixed(d1 * 100.0, 2),
+        ]);
+    }
+    let mut tables = vec![("per-set P=1 count distribution (avg over benchmarks)".into(), t)];
+    if with_reset {
+        // §6: periodic reset has negligible performance impact. Scale the
+        // paper's 128M-instruction interval to the measurement window.
+        let mut reset_cfg = template.clone();
+        reset_cfg.priority_reset_interval = Some((template.measure_instrs / 4).max(1));
+        let reset_matrix = run_matrix(&profiles, &reset_cfg, &[parse("P(8):S&E&R(1/32)")]);
+        let mut rt = Table::with_headers(&["benchmark", "reset_speedup_vs_no_reset%"]);
+        for p in &profiles {
+            let no_reset = get(&matrix, p.name, &policies[1]);
+            let with = get(&reset_matrix, p.name, &policies[1]);
+            rt.row(vec![
+                p.name.to_string(),
+                fixed(
+                    speedup_pct(no_reset.cycles as f64 / with.cycles as f64),
+                    3,
+                ),
+            ]);
+        }
+        tables.push(("§6 reset impact (P(8):S&E&R(1/32))".into(), rt));
+    }
+    Experiment {
+        title: "Figure 8 — saturation of high-priority lines per set".into(),
+        tables,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §5.6 ideal L2
+// ---------------------------------------------------------------------------
+
+/// §5.6 contextualization: speedup of an unrealizable zero-cycle-miss L2
+/// instruction cache, and EMISSARY's gain as a fraction of that bound.
+pub fn ideal_l2(template: &SimConfig) -> Experiment {
+    let profiles = Profile::all();
+    let bench_names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+    let matrix = run_matrix(&profiles, template, &[PolicySpec::BASELINE, preferred()]);
+    let mut ideal_cfg = template.clone();
+    ideal_cfg.hierarchy.ideal_l2_instr = true;
+    let ideal_matrix = run_matrix(&profiles, &ideal_cfg, &[PolicySpec::BASELINE]);
+    let mut t = Table::with_headers(&[
+        "benchmark",
+        "ideal_speedup%",
+        "emissary_speedup%",
+        "emissary_share_of_ideal%",
+    ]);
+    let mut ideal_ratios = Vec::new();
+    let mut emis_ratios = Vec::new();
+    for p in &profiles {
+        let base = get(&matrix, p.name, &PolicySpec::BASELINE);
+        let emis = get(&matrix, p.name, &preferred());
+        let ideal = get(&ideal_matrix, p.name, &PolicySpec::BASELINE);
+        let ideal_pct = speedup_pct(base.cycles as f64 / ideal.cycles as f64);
+        let emis_pct = speedup_pct(base.cycles as f64 / emis.cycles as f64);
+        ideal_ratios.push(base.cycles as f64 / ideal.cycles as f64);
+        emis_ratios.push(base.cycles as f64 / emis.cycles as f64);
+        let share = if ideal_pct.abs() < 1e-9 {
+            0.0
+        } else {
+            emis_pct / ideal_pct * 100.0
+        };
+        t.row(vec![
+            p.name.to_string(),
+            fixed(ideal_pct, 2),
+            fixed(emis_pct, 2),
+            fixed(share, 1),
+        ]);
+    }
+    let g_ideal = speedup_pct(geomean(&ideal_ratios).expect("ratios"));
+    let g_emis = speedup_pct(geomean(&emis_ratios).expect("ratios"));
+    let share = if g_ideal.abs() < 1e-9 {
+        0.0
+    } else {
+        g_emis / g_ideal * 100.0
+    };
+    t.row(vec![
+        "geomean".into(),
+        fixed(g_ideal, 2),
+        fixed(g_emis, 2),
+        fixed(share, 1),
+    ]);
+    let _ = bench_names;
+    Experiment {
+        title: "§5.6 — EMISSARY vs the unrealizable zero-cycle-miss ideal L2".into(),
+        tables: vec![("speedups over the FDIP baseline".into(), t)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_has_twelve_techniques_in_order() {
+        let p = fig7_policies();
+        assert_eq!(p.len(), 12);
+        assert_eq!(p[0].to_string(), "M:0");
+        assert_eq!(p[11].to_string(), "P(8):S&E&R(1/32)");
+    }
+
+    #[test]
+    fn table5_columns_match_paper() {
+        let cols = table5_columns();
+        assert_eq!(cols.len(), 11);
+        assert_eq!(cols[0].0, "S&E");
+        assert_eq!(cols[1].0, "R(1/2)");
+        assert_eq!(cols[10].0, "S&E&R(1/64)");
+        // Column factories produce the right notation.
+        assert_eq!(cols[10].1(8).to_string(), "P(8):S&E&R(1/64)");
+    }
+
+    #[test]
+    fn experiment_renders_tables() {
+        let e = Experiment {
+            title: "T".into(),
+            tables: vec![("c".into(), Table::with_headers(&["a"]))],
+        };
+        let s = e.render();
+        assert!(s.contains("# T"));
+        assert!(s.contains("## c"));
+        assert!(s.contains("TSV:"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Experiment harness regenerating every table and figure in the paper's
+//! evaluation (§5–§6). See DESIGN.md's per-experiment index.
+//!
+//! Each `fig*`/`table5`/`ideal_l2` binary in `src/bin/` prints the same
+//! rows/series the paper reports, as an aligned text table plus TSV. Run
+//! lengths scale through environment variables so the full study fits any
+//! time budget:
+//!
+//! * `EMISSARY_MEASURE_INSNS` — measurement window per run (default 1M);
+//! * `EMISSARY_WARMUP_INSNS` — warmup per run (default 200k);
+//! * `EMISSARY_THREADS` — worker threads (default: available parallelism).
+//!
+//! The Criterion benches (`benches/figures.rs`, `benches/components.rs`)
+//! exercise scaled-down versions of every experiment plus component
+//! microbenchmarks.
+
+pub mod experiments;
+pub mod pool;
+pub mod scale;
+
+pub use pool::run_parallel;
+pub use scale::{measure_instrs, threads, warmup_instrs};
+
+use emissary_core::spec::PolicySpec;
+use emissary_sim::{run_sim, SimConfig, SimReport};
+use emissary_workloads::Profile;
+
+/// The default experiment configuration: Alderlake-like model, TPLRU
+/// recency, run lengths from the environment.
+pub fn base_config() -> SimConfig {
+    SimConfig {
+        warmup_instrs: warmup_instrs(),
+        measure_instrs: measure_instrs(),
+        ..SimConfig::default()
+    }
+}
+
+/// One simulation job: a benchmark under a configuration.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Benchmark profile.
+    pub profile: Profile,
+    /// Full configuration (policy included).
+    pub config: SimConfig,
+}
+
+impl Job {
+    /// Builds a job from a profile and a policy over a config template.
+    pub fn new(profile: Profile, template: &SimConfig, policy: PolicySpec) -> Self {
+        Self {
+            profile,
+            config: template.clone().with_policy(policy),
+        }
+    }
+
+    /// Runs the job.
+    pub fn run(&self) -> SimReport {
+        run_sim(&self.profile, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_runs_end_to_end() {
+        let cfg = SimConfig {
+            warmup_instrs: 2_000,
+            measure_instrs: 8_000,
+            ..SimConfig::default()
+        };
+        let job = Job::new(
+            Profile::by_name("xapian").unwrap(),
+            &cfg,
+            PolicySpec::BASELINE,
+        );
+        let r = job.run();
+        assert!(r.committed >= 8_000);
+    }
+}

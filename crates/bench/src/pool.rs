@@ -1,0 +1,99 @@
+//! A minimal scoped thread pool for running simulation jobs in parallel.
+//!
+//! Simulations are CPU-bound and independent; a shared atomic cursor over
+//! the job list gives near-perfect load balancing without external
+//! dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use emissary_sim::SimReport;
+
+use crate::{scale, Job};
+
+/// Runs all jobs, using up to [`scale::threads`] workers, and returns
+/// reports in job order.
+pub fn run_parallel(jobs: &[Job]) -> Vec<SimReport> {
+    run_parallel_with(jobs, scale::threads())
+}
+
+/// Runs all jobs on exactly `workers` threads.
+pub fn run_parallel_with(jobs: &[Job], workers: usize) -> Vec<SimReport> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs.len());
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<SimReport>> = (0..jobs.len()).map(|_| None).collect();
+    // Workers collect (index, report) pairs locally; results are written
+    // back single-threaded after the scope joins.
+    let results: Vec<(usize, SimReport)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    local.push((i, jobs[i].run()));
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("simulation worker panicked"))
+            .collect()
+    });
+    for (i, r) in results {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job produces a report"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emissary_core::spec::PolicySpec;
+    use emissary_sim::SimConfig;
+    use emissary_workloads::Profile;
+
+    fn quick_jobs(n: usize) -> Vec<Job> {
+        let cfg = SimConfig {
+            warmup_instrs: 1_000,
+            measure_instrs: 5_000,
+            ..SimConfig::default()
+        };
+        (0..n)
+            .map(|_| Job::new(Profile::by_name("xapian").unwrap(), &cfg, PolicySpec::BASELINE))
+            .collect()
+    }
+
+    #[test]
+    fn preserves_job_order_and_count() {
+        let jobs = quick_jobs(5);
+        let reports = run_parallel_with(&jobs, 3);
+        assert_eq!(reports.len(), 5);
+        for r in &reports {
+            assert_eq!(r.benchmark, "xapian");
+        }
+    }
+
+    #[test]
+    fn empty_jobs_return_empty() {
+        assert!(run_parallel(&[]).is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let jobs = quick_jobs(3);
+        let serial: Vec<u64> = jobs.iter().map(|j| j.run().cycles).collect();
+        let parallel: Vec<u64> = run_parallel_with(&jobs, 3).iter().map(|r| r.cycles).collect();
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,60 @@
+//! Run-length and parallelism scaling via environment variables.
+
+use std::env;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    env::var(name)
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Measurement window in committed instructions
+/// (`EMISSARY_MEASURE_INSNS`, default 8,000,000). EMISSARY's `R(1/r)`
+/// filter accumulates protected lines over tens of millions of
+/// instructions (the paper simulates 100M); shorter windows shift the
+/// best `r` toward larger probabilities — see EXPERIMENTS.md.
+pub fn measure_instrs() -> u64 {
+    env_u64("EMISSARY_MEASURE_INSNS", 8_000_000)
+}
+
+/// Warmup in committed instructions
+/// (`EMISSARY_WARMUP_INSNS`, default 4,000,000). Warmup also accumulates
+/// EMISSARY priority marks (microarchitectural state persists across the
+/// measurement boundary, as in the paper's checkpoint-restore protocol).
+pub fn warmup_instrs() -> u64 {
+    env_u64("EMISSARY_WARMUP_INSNS", 4_000_000)
+}
+
+/// Worker threads (`EMISSARY_THREADS`, default: available parallelism).
+pub fn threads() -> usize {
+    env::var("EMISSARY_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v: &usize| v > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        // Don't mutate the environment (tests run in parallel); defaults
+        // apply when unset.
+        assert!(measure_instrs() > 0);
+        assert!(warmup_instrs() > 0);
+        assert!(threads() > 0);
+    }
+
+    #[test]
+    fn env_parser_handles_underscores_and_garbage() {
+        assert_eq!(env_u64("EMISSARY_TEST_UNSET_VAR_XYZ", 42), 42);
+    }
+}

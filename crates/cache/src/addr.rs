@@ -1,0 +1,52 @@
+//! Address arithmetic: byte addresses, line addresses, set indexing.
+//!
+//! All caches in this reproduction use 64-byte lines (Table 4), so a *line
+//! address* is a byte address shifted right by [`LINE_SHIFT`]. Caches index
+//! sets with the low bits of the line address.
+
+/// log2 of the cache line size in bytes.
+pub const LINE_SHIFT: u32 = 6;
+
+/// Cache line size in bytes (64 B across the hierarchy, per Table 4).
+pub const LINE_BYTES: u64 = 1 << LINE_SHIFT;
+
+/// Converts a byte address to its line address.
+#[inline]
+pub fn line_of(byte_addr: u64) -> u64 {
+    byte_addr >> LINE_SHIFT
+}
+
+/// First byte address of a line.
+#[inline]
+pub fn line_base(line_addr: u64) -> u64 {
+    line_addr << LINE_SHIFT
+}
+
+/// Set index for `line_addr` in a cache with `sets` sets.
+///
+/// `sets` must be a power of two (checked by [`crate::config::CacheConfig`]).
+#[inline]
+pub fn set_index(line_addr: u64, sets: usize) -> usize {
+    (line_addr as usize) & (sets - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math_roundtrips() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+        assert_eq!(line_base(line_of(0x1234)), 0x1200 & !0x3f);
+    }
+
+    #[test]
+    fn set_index_wraps_power_of_two() {
+        assert_eq!(set_index(0, 64), 0);
+        assert_eq!(set_index(64, 64), 0);
+        assert_eq!(set_index(65, 64), 1);
+        assert_eq!(set_index(63, 64), 63);
+    }
+}

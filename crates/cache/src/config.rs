@@ -1,0 +1,145 @@
+//! Cache and hierarchy geometry/latency configuration (paper Table 4).
+
+use crate::addr::LINE_BYTES;
+
+/// Geometry and latency of a single cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Short name used in stats output ("l1i", "l2", …).
+    pub name: &'static str,
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Creates a config and validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived set count is zero or not a power of two, or if
+    /// `ways` is zero.
+    pub fn new(name: &'static str, capacity_bytes: u64, ways: usize, hit_latency: u64) -> Self {
+        let cfg = Self {
+            name,
+            capacity_bytes,
+            ways,
+            hit_latency,
+        };
+        let sets = cfg.sets();
+        assert!(ways > 0, "{name}: ways must be > 0");
+        assert!(sets > 0, "{name}: derived set count is zero");
+        assert!(sets.is_power_of_two(), "{name}: sets must be a power of two");
+        cfg
+    }
+
+    /// Number of sets implied by capacity, line size and ways.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / LINE_BYTES) as usize / self.ways
+    }
+
+    /// Number of lines the cache can hold.
+    pub fn lines(&self) -> usize {
+        self.sets() * self.ways
+    }
+}
+
+/// Which policy runs in the unified L2 is chosen by the caller; everything
+/// else about the hierarchy is configured here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache (32 kB, 8-way, 2-cycle hit).
+    pub l1i: CacheConfig,
+    /// L1 data cache (64 kB, 8-way, 2-cycle hit).
+    pub l1d: CacheConfig,
+    /// Unified, inclusive L2 (1 MB, 16-way, 12-cycle hit).
+    pub l2: CacheConfig,
+    /// Shared exclusive victim L3 (2 MB, 16-way, 32-cycle hit).
+    pub l3: CacheConfig,
+    /// Main-memory access latency in cycles.
+    pub dram_latency: u64,
+    /// Next-line prefetcher into L1D on L1D demand misses.
+    pub l1d_nlp: bool,
+    /// Next-line prefetcher into L2 on L2 demand misses.
+    pub l2_nlp: bool,
+    /// Next-line prefetcher into L3 on L3 demand misses.
+    pub l3_nlp: bool,
+    /// §5.6 "zero-cycle miss latency for all capacity and conflict
+    /// instruction misses in the L2": non-compulsory L2 instruction misses
+    /// are served at L2-hit latency.
+    pub ideal_l2_instr: bool,
+    /// Seed for the hierarchy's deterministic RNG streams.
+    pub seed: u64,
+}
+
+impl HierarchyConfig {
+    /// The Alderlake-like model of Table 4, with NLP enabled for L1D, L2 and
+    /// L3 as in §5.1.
+    pub fn alderlake_like() -> Self {
+        Self {
+            l1i: CacheConfig::new("l1i", 32 * 1024, 8, 2),
+            l1d: CacheConfig::new("l1d", 64 * 1024, 8, 2),
+            l2: CacheConfig::new("l2", 1024 * 1024, 16, 12),
+            l3: CacheConfig::new("l3", 2 * 1024 * 1024, 16, 32),
+            dram_latency: 150,
+            l1d_nlp: true,
+            l2_nlp: true,
+            l3_nlp: true,
+            ideal_l2_instr: false,
+            seed: 0xE1515,
+        }
+    }
+
+    /// Figure 1's environment: same geometry but *no prefetchers*.
+    pub fn figure1() -> Self {
+        Self {
+            l1d_nlp: false,
+            l2_nlp: false,
+            l3_nlp: false,
+            ..Self::alderlake_like()
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::alderlake_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_geometries() {
+        let h = HierarchyConfig::alderlake_like();
+        assert_eq!(h.l1i.sets(), 64); // 32kB / 64B / 8
+        assert_eq!(h.l1d.sets(), 128);
+        assert_eq!(h.l2.sets(), 1024); // 1MB / 64B / 16
+        assert_eq!(h.l3.sets(), 2048);
+        assert_eq!(h.l2.lines(), 16384);
+    }
+
+    #[test]
+    fn figure1_disables_prefetchers_only() {
+        let f = HierarchyConfig::figure1();
+        assert!(!f.l1d_nlp && !f.l2_nlp && !f.l3_nlp);
+        assert_eq!(f.l2, HierarchyConfig::alderlake_like().l2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two_sets() {
+        CacheConfig::new("bad", 3 * 1024, 8, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_ways() {
+        CacheConfig::new("bad", 1024, 0, 1);
+    }
+}

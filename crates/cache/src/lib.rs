@@ -1,0 +1,53 @@
+//! Set-associative cache and hierarchy substrate for the EMISSARY
+//! reproduction (ISCA 2023).
+//!
+//! This crate provides everything the paper's machine model (Table 4) needs
+//! below the core pipeline:
+//!
+//! * [`cache::Cache`] — a set-associative cache with per-line metadata
+//!   (validity, dirtiness, instruction/data kind, the EMISSARY priority bit,
+//!   the L2 "served-from-L3" SFL bit) and a pluggable
+//!   [`policy::ReplacementPolicy`].
+//! * [`policy`] — the prior-work replacement policies the paper compares
+//!   against: true LRU, tree pseudo-LRU (TPLRU), the `M:` insertion-treatment
+//!   family (LIP, BIP, `M:S&E`, …), SRRIP/BRRIP/DRRIP, PDP and DCLIP. The
+//!   EMISSARY `P(N)` family itself lives in the `emissary-core` crate, which
+//!   implements the same trait.
+//! * [`hierarchy::Hierarchy`] — the three-level hierarchy of the paper:
+//!   private L1I/L1D, a unified *inclusive* L2, and an *exclusive victim* L3
+//!   running DRRIP with the SFL insertion hint, plus next-line prefetchers
+//!   and the §5.6 "zero-cycle-miss ideal L2 instruction cache" mode.
+//! * [`rng::XorShift64`] — the deterministic RNG used on all simulated
+//!   hardware paths (e.g. the `R(1/32)` random selection signal).
+//!
+//! # Example
+//!
+//! ```
+//! use emissary_cache::config::CacheConfig;
+//! use emissary_cache::cache::Cache;
+//! use emissary_cache::line::LineKind;
+//! use emissary_cache::policy::{AccessInfo, PolicyKind};
+//!
+//! let cfg = CacheConfig::new("l1i", 32 * 1024, 8, 2);
+//! let mut cache = Cache::new(cfg.clone(), PolicyKind::TreePlru.build(cfg.sets(), 8, 1));
+//! let info = AccessInfo::demand(LineKind::Instruction);
+//! assert!(cache.lookup(0x40, &info).is_none()); // cold miss
+//! cache.fill(0x40, &info);
+//! assert!(cache.lookup(0x40, &info).is_some());
+//! ```
+
+pub mod addr;
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod line;
+pub mod policy;
+pub mod rng;
+pub mod stats;
+
+pub use crate::cache::Cache;
+pub use crate::config::{CacheConfig, HierarchyConfig};
+pub use crate::hierarchy::{Hierarchy, MemAccess, ServedBy};
+pub use crate::line::{LineKind, LineState};
+pub use crate::policy::{AccessInfo, PolicyKind, ReplacementPolicy};
+pub use crate::rng::XorShift64;

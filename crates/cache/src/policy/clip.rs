@@ -1,0 +1,208 @@
+//! DCLIP — Dynamic Code Line Preservation (Jaleel et al., HPCA 2015's CLIP,
+//! Table 3's "DCLIP" comparison point).
+//!
+//! CLIP "modif[ies] the re-reference predictions of instruction and data
+//! lines separately [to] dynamically prioritize instructions in a cache when
+//! the instructions cause L2 cache contention". We implement it on the RRIP
+//! substrate: when code preservation is ON, instruction lines insert with a
+//! near re-reference prediction (RRPV 0) while data lines insert distant
+//! (RRPV 3, long with probability 1/32); when OFF, both insert as SRRIP.
+//! Set dueling on *instruction* misses decides ON vs OFF dynamically.
+
+use crate::line::LineState;
+use crate::policy::{AccessInfo, ReplacementPolicy};
+use crate::rng::XorShift64;
+
+const RRPV_MAX: u8 = 3;
+const RRPV_LONG: u8 = RRPV_MAX - 1;
+const PSEL_BITS: u32 = 10;
+const DUEL_STRIDE: usize = 32;
+
+/// DCLIP replacement; see module docs.
+#[derive(Debug)]
+pub struct DclipPolicy {
+    ways: usize,
+    rrpv: Vec<u8>,
+    rng: XorShift64,
+    /// >= midpoint means code preservation is winning.
+    psel: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    ClipLeader,
+    SrripLeader,
+    Follower,
+}
+
+fn role_of(set: usize) -> Role {
+    match set % DUEL_STRIDE {
+        0 => Role::ClipLeader,
+        16 => Role::SrripLeader,
+        _ => Role::Follower,
+    }
+}
+
+impl DclipPolicy {
+    /// Creates DCLIP state for `sets` x `ways`.
+    pub fn new(sets: usize, ways: usize, seed: u64) -> Self {
+        Self {
+            ways,
+            rrpv: vec![RRPV_MAX; sets * ways],
+            rng: XorShift64::new(seed ^ 0xC11F),
+            // Bias the starting state toward code preservation: server
+            // workloads with instruction contention are the design target.
+            psel: 1 << (PSEL_BITS - 1),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn clip_on(&self, set: usize) -> bool {
+        match role_of(set) {
+            Role::ClipLeader => true,
+            Role::SrripLeader => false,
+            Role::Follower => self.psel >= 1 << (PSEL_BITS - 1),
+        }
+    }
+}
+
+impl ReplacementPolicy for DclipPolicy {
+    fn name(&self) -> String {
+        "dclip".to_string()
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _lines: &[LineState], _info: &AccessInfo) {
+        let i = self.idx(set, way);
+        self.rrpv[i] = 0;
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _lines: &[LineState], info: &AccessInfo) {
+        // Duel on instruction misses: an instruction miss in a leader set is
+        // evidence against that leader's configuration.
+        if info.kind.is_instruction() {
+            let max = (1 << PSEL_BITS) - 1;
+            match role_of(set) {
+                Role::ClipLeader => self.psel = self.psel.saturating_sub(1),
+                Role::SrripLeader => self.psel = (self.psel + 1).min(max),
+                Role::Follower => {}
+            }
+        }
+        let i = self.idx(set, way);
+        self.rrpv[i] = if info.mru_hint {
+            0
+        } else if self.clip_on(set) {
+            if info.kind.is_instruction() {
+                0
+            } else if self.rng.one_in(32) {
+                RRPV_LONG
+            } else {
+                RRPV_MAX
+            }
+        } else {
+            RRPV_LONG
+        };
+    }
+
+    fn victim(&mut self, set: usize, lines: &[LineState], _info: &AccessInfo) -> usize {
+        debug_assert!(lines.iter().any(|l| l.valid));
+        loop {
+            for (way, line) in lines.iter().enumerate() {
+                if line.valid && self.rrpv[self.idx(set, way)] == RRPV_MAX {
+                    return way;
+                }
+            }
+            for (way, line) in lines.iter().enumerate() {
+                if line.valid {
+                    let i = self.idx(set, way);
+                    self.rrpv[i] = (self.rrpv[i] + 1).min(RRPV_MAX);
+                }
+            }
+        }
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        let i = self.idx(set, way);
+        self.rrpv[i] = RRPV_MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::LineKind;
+
+    fn full_set(ways: usize) -> Vec<LineState> {
+        (0..ways)
+            .map(|i| LineState {
+                tag: i as u64,
+                valid: true,
+                kind: LineKind::Data,
+                ..LineState::invalid()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clip_on_prioritizes_instruction_fills() {
+        let mut p = DclipPolicy::new(64, 4, 1);
+        let lines = full_set(4);
+        // Set 0 is a CLIP leader: always on.
+        p.on_fill(0, 0, &lines, &AccessInfo::demand(LineKind::Instruction));
+        assert_eq!(p.rrpv[0], 0);
+    }
+
+    #[test]
+    fn clip_on_data_fills_mostly_distant() {
+        let mut p = DclipPolicy::new(64, 4, 1);
+        let lines = full_set(4);
+        let mut distant = 0;
+        for _ in 0..640 {
+            p.on_fill(0, 1, &lines, &AccessInfo::demand(LineKind::Data));
+            if p.rrpv[1] == RRPV_MAX {
+                distant += 1;
+            }
+        }
+        assert!(distant > 560, "distant = {distant}");
+    }
+
+    #[test]
+    fn srrip_leader_inserts_long_for_both_kinds() {
+        let mut p = DclipPolicy::new(64, 4, 1);
+        let lines = full_set(4);
+        p.on_fill(16, 0, &lines, &AccessInfo::demand(LineKind::Instruction));
+        assert_eq!(p.rrpv[16 * 4], RRPV_LONG);
+        p.on_fill(16, 1, &lines, &AccessInfo::demand(LineKind::Data));
+        assert_eq!(p.rrpv[16 * 4 + 1], RRPV_LONG);
+    }
+
+    #[test]
+    fn dueling_flips_followers_when_clip_loses() {
+        let mut p = DclipPolicy::new(64, 4, 1);
+        let lines = full_set(4);
+        assert!(p.clip_on(1)); // initial bias: on
+        // Instruction misses hammering the CLIP leader turn it off.
+        for _ in 0..600 {
+            p.on_fill(0, 0, &lines, &AccessInfo::demand(LineKind::Instruction));
+        }
+        assert!(!p.clip_on(1));
+        // And instruction misses in the SRRIP leader turn it back on.
+        for _ in 0..1200 {
+            p.on_fill(16, 0, &lines, &AccessInfo::demand(LineKind::Instruction));
+        }
+        assert!(p.clip_on(1));
+    }
+
+    #[test]
+    fn victim_scan_terminates_with_all_near() {
+        let mut p = DclipPolicy::new(64, 2, 1);
+        let lines = full_set(2);
+        p.on_fill(0, 0, &lines, &AccessInfo::demand(LineKind::Instruction));
+        p.on_fill(0, 1, &lines, &AccessInfo::demand(LineKind::Instruction));
+        let v = p.victim(0, &lines, &AccessInfo::demand(LineKind::Data));
+        assert!(v < 2);
+    }
+}

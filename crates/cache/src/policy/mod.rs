@@ -1,0 +1,243 @@
+//! Replacement-policy abstraction and the prior-work policies from Table 3.
+//!
+//! A [`ReplacementPolicy`] owns only *recency/prediction metadata*; line
+//! contents and flag bits (validity, the EMISSARY `P` bit, …) live in the
+//! [`crate::cache::Cache`] and are presented to the policy as a read-only
+//! slice of [`LineState`] for the relevant set.
+//!
+//! ## Deferred insertion updates
+//!
+//! The paper's `M:` treatments place a line's insertion position using the
+//! decode-starvation / issue-queue-empty flags of the miss, which are known
+//! *before the line is inserted* in real hardware but only at miss
+//! resolution in this eager-fill simulator. The cache therefore calls
+//! [`ReplacementPolicy::on_fill`] at structural fill time (flags unknown,
+//! `high_priority == false`) and [`ReplacementPolicy::on_fill_resolved`]
+//! when the miss's flags become known. Insertion-treatment policies place
+//! the line pessimistically (LRU) at fill and promote it at resolution;
+//! plain policies do all their work in `on_fill`.
+
+mod clip;
+mod costaware;
+mod insertion;
+mod lru;
+mod pdp;
+mod plru;
+mod random;
+mod rrip;
+
+pub use clip::DclipPolicy;
+pub use costaware::{LacsPolicy, LinPolicy};
+pub use insertion::{InsertionPolicy, RecencyBase};
+pub use lru::TrueLruPolicy;
+pub use pdp::PdpPolicy;
+pub use plru::{PlruTree, TreePlruPolicy};
+pub use random::RandomPolicy;
+pub use rrip::{RripMode, RripPolicy};
+
+use crate::line::{LineKind, LineState};
+
+/// Metadata accompanying a cache access, consumed by policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// Instruction or data access.
+    pub kind: LineKind,
+    /// True for prefetcher-generated accesses.
+    pub is_prefetch: bool,
+    /// True for stores.
+    pub is_write: bool,
+    /// Mode-selection outcome for the incoming line (Table 1 equations,
+    /// evaluated by the caller). Only meaningful in `on_fill_resolved` for
+    /// `M:` treatments and in the EMISSARY `P(N)` policy's priority plumbing.
+    pub high_priority: bool,
+    /// Hint to insert at the most-protected position regardless of other
+    /// rules; used by the L3's SFL mechanism (§5.1).
+    pub mru_hint: bool,
+    /// Outstanding misses when this fill was initiated (MLP estimate for
+    /// LIN-style cost-aware policies). 0 when unknown.
+    pub outstanding_misses: u8,
+    /// Latency of the fill's source in cycles (LACS-style cost input).
+    /// 0 when unknown or on hits.
+    pub fill_latency: u16,
+}
+
+impl AccessInfo {
+    /// A demand access of the given kind with no special flags.
+    pub fn demand(kind: LineKind) -> Self {
+        Self {
+            kind,
+            is_prefetch: false,
+            is_write: false,
+            high_priority: false,
+            mru_hint: false,
+            outstanding_misses: 0,
+            fill_latency: 0,
+        }
+    }
+
+    /// A prefetch access of the given kind.
+    pub fn prefetch(kind: LineKind) -> Self {
+        Self {
+            is_prefetch: true,
+            ..Self::demand(kind)
+        }
+    }
+
+    /// Returns a copy with `high_priority` set as given.
+    pub fn with_priority(self, high_priority: bool) -> Self {
+        Self {
+            high_priority,
+            ..self
+        }
+    }
+
+    /// Returns a copy with `mru_hint` set as given.
+    pub fn with_mru_hint(self, mru_hint: bool) -> Self {
+        Self { mru_hint, ..self }
+    }
+}
+
+/// A cache replacement policy.
+///
+/// Implementations must be deterministic given their seed; all randomness
+/// goes through [`crate::rng::XorShift64`].
+pub trait ReplacementPolicy: std::fmt::Debug + Send {
+    /// Short name for reports ("lru", "drrip", "P(8):S&E&R(1/32)", …).
+    fn name(&self) -> String;
+
+    /// Called on every hit to `way` in `set`.
+    fn on_hit(&mut self, set: usize, way: usize, lines: &[LineState], info: &AccessInfo);
+
+    /// Called when a new line is structurally placed into `way` of `set`.
+    /// The `lines` slice already reflects the inserted line.
+    fn on_fill(&mut self, set: usize, way: usize, lines: &[LineState], info: &AccessInfo);
+
+    /// Called when the miss that filled `way` resolves and its
+    /// starvation-derived flags are known (see module docs). Default: no-op.
+    fn on_fill_resolved(
+        &mut self,
+        _set: usize,
+        _way: usize,
+        _lines: &[LineState],
+        _info: &AccessInfo,
+    ) {
+    }
+
+    /// Chooses the way to evict from a completely valid set.
+    ///
+    /// The cache guarantees every way in `lines` is valid; policies may
+    /// panic otherwise.
+    fn victim(&mut self, set: usize, lines: &[LineState], info: &AccessInfo) -> usize;
+
+    /// Whether the incoming line should bypass the cache instead of
+    /// filling (consulted by [`crate::cache::Cache::fill`] before victim
+    /// selection). Default: never. The paper found bypass ineffective for
+    /// EMISSARY (§2) — the variant exists to reproduce that negative
+    /// result.
+    fn should_bypass(&mut self, _set: usize, _lines: &[LineState], _info: &AccessInfo) -> bool {
+        false
+    }
+
+    /// Called when a way is invalidated (back-invalidation, exclusive-L3
+    /// promotion). Default: no-op.
+    fn on_invalidate(&mut self, _set: usize, _way: usize) {}
+
+    /// Called when a resident line's EMISSARY priority bit changes (e.g. the
+    /// L1I communicates `P = 1` to the L2 copy on eviction). Default: no-op.
+    fn on_priority_change(&mut self, _set: usize, _way: usize, _lines: &[LineState]) {}
+}
+
+/// Factory covering the prior-work policies implemented in this crate.
+///
+/// The EMISSARY `P(N)` family implements [`ReplacementPolicy`] in the
+/// `emissary-core` crate; its factory composes with this one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Classic true LRU (`M:1` baseline in Figure 1).
+    TrueLru,
+    /// Tree pseudo-LRU (the TPLRU baseline of §5).
+    TreePlru,
+    /// `M:` insertion treatment over true LRU: instruction lines insert LRU
+    /// and are promoted to MRU when the resolved selection says
+    /// high-priority; data lines insert MRU (covers LIP/BIP/M:S&E/…).
+    InsertionTrueLru,
+    /// `M:` insertion treatment over tree PLRU.
+    InsertionTreePlru,
+    /// Static re-reference interval prediction.
+    Srrip,
+    /// Bimodal RRIP with 1/32 long insertion.
+    Brrip,
+    /// Dynamic RRIP via set dueling.
+    Drrip,
+    /// Static protecting-distance policy (PDP).
+    Pdp,
+    /// Dynamic code line preservation (DCLIP/CLIP).
+    Dclip,
+    /// Uniform-random victim (testing baseline).
+    Random,
+    /// MLP-aware LIN approximation (§7.1 related work).
+    Lin,
+    /// LACS approximation (§7.1 related work).
+    Lacs,
+}
+
+impl PolicyKind {
+    /// Builds the policy for a cache of `sets` x `ways`, seeding any
+    /// randomness from `seed`.
+    pub fn build(self, sets: usize, ways: usize, seed: u64) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::TrueLru => Box::new(TrueLruPolicy::new(sets, ways)),
+            PolicyKind::TreePlru => Box::new(TreePlruPolicy::new(sets, ways)),
+            PolicyKind::InsertionTrueLru => {
+                Box::new(InsertionPolicy::new(RecencyBase::TrueLru, sets, ways))
+            }
+            PolicyKind::InsertionTreePlru => {
+                Box::new(InsertionPolicy::new(RecencyBase::TreePlru, sets, ways))
+            }
+            PolicyKind::Srrip => Box::new(RripPolicy::new(RripMode::Static, sets, ways, seed)),
+            PolicyKind::Brrip => Box::new(RripPolicy::new(RripMode::Bimodal, sets, ways, seed)),
+            PolicyKind::Drrip => Box::new(RripPolicy::new(RripMode::Dynamic, sets, ways, seed)),
+            PolicyKind::Pdp => Box::new(PdpPolicy::new(sets, ways, PdpPolicy::DEFAULT_DISTANCE)),
+            PolicyKind::Dclip => Box::new(DclipPolicy::new(sets, ways, seed)),
+            PolicyKind::Random => Box::new(RandomPolicy::new(seed)),
+            PolicyKind::Lin => Box::new(LinPolicy::new(sets, ways)),
+            PolicyKind::Lacs => Box::new(LacsPolicy::new(sets, ways)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_info_builders() {
+        let d = AccessInfo::demand(LineKind::Data);
+        assert!(!d.is_prefetch && !d.high_priority);
+        let p = AccessInfo::prefetch(LineKind::Instruction);
+        assert!(p.is_prefetch);
+        assert!(p.with_priority(true).high_priority);
+        assert!(p.with_mru_hint(true).mru_hint);
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for kind in [
+            PolicyKind::TrueLru,
+            PolicyKind::TreePlru,
+            PolicyKind::InsertionTrueLru,
+            PolicyKind::InsertionTreePlru,
+            PolicyKind::Srrip,
+            PolicyKind::Brrip,
+            PolicyKind::Drrip,
+            PolicyKind::Pdp,
+            PolicyKind::Dclip,
+            PolicyKind::Random,
+            PolicyKind::Lin,
+            PolicyKind::Lacs,
+        ] {
+            let p = kind.build(64, 8, 1);
+            assert!(!p.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Tree pseudo-LRU (TPLRU).
+//!
+//! The paper's evaluations use TPLRU everywhere (`ways - 1` bits per tree,
+//! §4.2). The tree structure is exposed as [`PlruTree`] because the EMISSARY
+//! policy keeps *two* trees per set (one per priority class) and walks the
+//! appropriate one, "skipping any lines that do not match the priority
+//! criteria".
+
+use crate::line::LineState;
+use crate::policy::{AccessInfo, ReplacementPolicy};
+
+/// One pseudo-LRU tree over a power-of-two number of ways.
+///
+/// Internal nodes are stored as a bitset: node 0 is the root, node `i` has
+/// children `2i + 1` / `2i + 2`; a bit of 0 means "the colder (victim) side
+/// is the left subtree".
+///
+/// # Example
+///
+/// ```
+/// use emissary_cache::policy::PlruTree;
+///
+/// let mut t = PlruTree::new(4);
+/// t.touch(0);
+/// t.touch(1);
+/// // Ways 2..3 untouched; the victim walk lands on one of them.
+/// assert!(t.victim_masked(0b1111).unwrap() >= 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlruTree {
+    ways: usize,
+    /// Bit `i` = direction bit of internal node `i` (1 = victim side is right).
+    bits: u32,
+}
+
+impl PlruTree {
+    /// Creates a tree over `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` is a power of two in `1..=32`.
+    pub fn new(ways: usize) -> Self {
+        assert!(
+            ways.is_power_of_two() && (1..=32).contains(&ways),
+            "TPLRU requires power-of-two ways in 1..=32, got {ways}"
+        );
+        Self { ways, bits: 0 }
+    }
+
+    /// Number of ways covered.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    #[inline]
+    fn levels(&self) -> u32 {
+        self.ways.trailing_zeros()
+    }
+
+    /// Records an access to `way`: every node on the root-to-leaf path is
+    /// pointed *away* from the accessed side.
+    pub fn touch(&mut self, way: usize) {
+        debug_assert!(way < self.ways);
+        let mut node = 0usize;
+        for level in (0..self.levels()).rev() {
+            let go_right = (way >> level) & 1 == 1;
+            // Point the victim side away from where we went.
+            if go_right {
+                self.bits &= !(1 << node);
+            } else {
+                self.bits |= 1 << node;
+            }
+            node = 2 * node + 1 + usize::from(go_right);
+        }
+    }
+
+    /// Points every node on the path *toward* `way`, making it the next
+    /// victim of its subtree (the "LRU insert" used by LIP-style policies).
+    pub fn point_to(&mut self, way: usize) {
+        debug_assert!(way < self.ways);
+        let mut node = 0usize;
+        for level in (0..self.levels()).rev() {
+            let go_right = (way >> level) & 1 == 1;
+            if go_right {
+                self.bits |= 1 << node;
+            } else {
+                self.bits &= !(1 << node);
+            }
+            node = 2 * node + 1 + usize::from(go_right);
+        }
+    }
+
+    /// Walks the tree toward the victim, restricted to ways whose bit is set
+    /// in `eligible`. At each node the pointed-to side is preferred; if that
+    /// subtree contains no eligible way the other side is taken.
+    ///
+    /// Returns `None` when `eligible` selects no way.
+    pub fn victim_masked(&self, eligible: u32) -> Option<usize> {
+        let full_mask = if self.ways == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.ways) - 1
+        };
+        let eligible = eligible & full_mask;
+        if eligible == 0 {
+            return None;
+        }
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut width = self.ways;
+        while width > 1 {
+            let half = width / 2;
+            let left_mask = Self::range_mask(lo, half) & eligible;
+            let right_mask = Self::range_mask(lo + half, half) & eligible;
+            let prefer_right = self.bits & (1 << node) != 0;
+            let go_right = if prefer_right {
+                right_mask != 0
+            } else {
+                left_mask == 0
+            };
+            node = 2 * node + 1 + usize::from(go_right);
+            if go_right {
+                lo += half;
+            }
+            width = half;
+        }
+        Some(lo)
+    }
+
+    /// Victim among all ways.
+    pub fn victim(&self) -> usize {
+        self.victim_masked(u32::MAX)
+            .expect("ways >= 1, full mask cannot be empty")
+    }
+
+    #[inline]
+    fn range_mask(lo: usize, width: usize) -> u32 {
+        let m = if width >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
+        m << lo
+    }
+}
+
+/// Plain tree-PLRU replacement: touch on hit and fill, victim from the tree
+/// restricted to valid ways.
+#[derive(Debug, Clone)]
+pub struct TreePlruPolicy {
+    trees: Vec<PlruTree>,
+}
+
+impl TreePlruPolicy {
+    /// Creates TPLRU state for `sets` x `ways`.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            trees: vec![PlruTree::new(ways); sets],
+        }
+    }
+
+    /// Mutable access to a set's tree (used by insertion treatments).
+    pub fn tree_mut(&mut self, set: usize) -> &mut PlruTree {
+        &mut self.trees[set]
+    }
+
+    /// Shared access to a set's tree.
+    pub fn tree(&self, set: usize) -> &PlruTree {
+        &self.trees[set]
+    }
+}
+
+/// Bitmask of valid ways in a set.
+pub(crate) fn valid_mask(lines: &[LineState]) -> u32 {
+    lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.valid)
+        .fold(0u32, |m, (w, _)| m | (1 << w))
+}
+
+impl ReplacementPolicy for TreePlruPolicy {
+    fn name(&self) -> String {
+        "tplru".to_string()
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _lines: &[LineState], _info: &AccessInfo) {
+        self.trees[set].touch(way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _lines: &[LineState], _info: &AccessInfo) {
+        self.trees[set].touch(way);
+    }
+
+    fn victim(&mut self, set: usize, lines: &[LineState], _info: &AccessInfo) -> usize {
+        self.trees[set]
+            .victim_masked(valid_mask(lines))
+            .expect("victim() requires at least one valid line")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::LineKind;
+
+    fn info() -> AccessInfo {
+        AccessInfo::demand(LineKind::Instruction)
+    }
+
+    fn full_set(ways: usize) -> Vec<LineState> {
+        (0..ways)
+            .map(|i| LineState {
+                tag: i as u64,
+                valid: true,
+                kind: LineKind::Instruction,
+                ..LineState::invalid()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn untouched_tree_victims_way_zero() {
+        let t = PlruTree::new(8);
+        assert_eq!(t.victim(), 0);
+    }
+
+    #[test]
+    fn touch_moves_victim_away() {
+        let mut t = PlruTree::new(8);
+        t.touch(0);
+        assert_ne!(t.victim(), 0);
+        // Tree PLRU is approximate, so an untouched way is only guaranteed
+        // to be the victim when the path bits still point at it: touching
+        // its sibling (4), its cousin subtree (6), then the other half (0)
+        // leaves every node on the path directed at way 5.
+        let mut t = PlruTree::new(8);
+        for w in [4, 6, 0] {
+            t.touch(w);
+        }
+        assert_eq!(t.victim(), 5);
+    }
+
+    #[test]
+    fn point_to_makes_way_the_victim() {
+        let mut t = PlruTree::new(16);
+        for w in 0..16 {
+            t.touch(w);
+        }
+        t.point_to(11);
+        assert_eq!(t.victim(), 11);
+    }
+
+    #[test]
+    fn masked_victim_skips_ineligible_subtrees() {
+        let mut t = PlruTree::new(8);
+        for w in 0..8 {
+            t.touch(w);
+        }
+        // Only ways 2 and 6 eligible.
+        let v = t.victim_masked((1 << 2) | (1 << 6)).unwrap();
+        assert!(v == 2 || v == 6);
+        assert_eq!(t.victim_masked(0), None);
+    }
+
+    #[test]
+    fn masked_victim_single_way() {
+        let t = PlruTree::new(8);
+        for w in 0..8 {
+            assert_eq!(t.victim_masked(1 << w), Some(w));
+        }
+    }
+
+    #[test]
+    fn recently_touched_way_is_not_victim_under_full_mask() {
+        let mut t = PlruTree::new(16);
+        let mut state = 0x1234_5678u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let w = (state >> 33) as usize % 16;
+            t.touch(w);
+            assert_ne!(t.victim(), w, "victim equals just-touched way");
+        }
+    }
+
+    #[test]
+    fn plru_never_evicts_most_recent_among_eligible() {
+        let mut t = PlruTree::new(8);
+        t.touch(3);
+        // 3 was just touched; with >=2 eligible ways, victim must differ.
+        let v = t.victim_masked(0b1111_1111).unwrap();
+        assert_ne!(v, 3);
+    }
+
+    #[test]
+    fn policy_victims_only_valid_ways() {
+        let mut p = TreePlruPolicy::new(1, 8);
+        let mut lines = full_set(8);
+        lines[0].valid = false;
+        // Even though way 0 is the tree's cold way, it's invalid: skip it.
+        let v = p.victim(0, &lines, &info());
+        assert_ne!(v, 0);
+        assert!(lines[v].valid);
+    }
+
+    #[test]
+    fn ways_one_tree_degenerates() {
+        let mut t = PlruTree::new(1);
+        t.touch(0);
+        assert_eq!(t.victim(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        PlruTree::new(6);
+    }
+}

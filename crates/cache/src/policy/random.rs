@@ -1,0 +1,82 @@
+//! Uniform-random replacement — a sanity baseline for tests and benches.
+
+use crate::line::LineState;
+use crate::policy::{AccessInfo, ReplacementPolicy};
+use crate::rng::XorShift64;
+
+/// Evicts a uniformly random valid way. Keeps no recency state.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: XorShift64,
+}
+
+impl RandomPolicy {
+    /// Creates the policy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: XorShift64::new(seed ^ 0xDA7A),
+        }
+    }
+}
+
+impl ReplacementPolicy for RandomPolicy {
+    fn name(&self) -> String {
+        "random".to_string()
+    }
+
+    fn on_hit(&mut self, _set: usize, _way: usize, _lines: &[LineState], _info: &AccessInfo) {}
+
+    fn on_fill(&mut self, _set: usize, _way: usize, _lines: &[LineState], _info: &AccessInfo) {}
+
+    fn victim(&mut self, _set: usize, lines: &[LineState], _info: &AccessInfo) -> usize {
+        let valid: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.valid)
+            .map(|(w, _)| w)
+            .collect();
+        assert!(!valid.is_empty(), "victim() requires at least one valid line");
+        valid[self.rng.next_below(valid.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::LineKind;
+
+    #[test]
+    fn victims_are_always_valid() {
+        let mut p = RandomPolicy::new(3);
+        let mut lines = vec![LineState::invalid(); 8];
+        for (i, l) in lines.iter_mut().enumerate().skip(4) {
+            l.valid = true;
+            l.tag = i as u64;
+            l.kind = LineKind::Data;
+        }
+        for _ in 0..100 {
+            let v = p.victim(0, &lines, &AccessInfo::demand(LineKind::Data));
+            assert!(lines[v].valid);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = RandomPolicy::new(11);
+        let mut b = RandomPolicy::new(11);
+        let lines: Vec<LineState> = (0..8)
+            .map(|i| LineState {
+                tag: i,
+                valid: true,
+                kind: LineKind::Data,
+                ..LineState::invalid()
+            })
+            .collect();
+        for _ in 0..50 {
+            assert_eq!(
+                a.victim(0, &lines, &AccessInfo::demand(LineKind::Data)),
+                b.victim(0, &lines, &AccessInfo::demand(LineKind::Data))
+            );
+        }
+    }
+}

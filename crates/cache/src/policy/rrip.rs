@@ -1,0 +1,285 @@
+//! Re-Reference Interval Prediction policies: SRRIP, BRRIP and DRRIP
+//! (Jaleel et al., ISCA 2010), as used in the paper's comparison (Table 3)
+//! and as the L3's default policy (with the SFL MRU-insertion hint).
+
+use crate::line::LineState;
+use crate::policy::{AccessInfo, ReplacementPolicy};
+use crate::rng::XorShift64;
+
+/// Maximum re-reference prediction value for 2-bit RRPV.
+const RRPV_MAX: u8 = 3;
+/// "Long re-reference interval" insertion value (SRRIP-HP).
+const RRPV_LONG: u8 = RRPV_MAX - 1;
+/// BRRIP inserts with RRPV_LONG with probability 1/32, else distant.
+const BRRIP_ONE_IN: u32 = 32;
+/// PSEL saturating-counter width for DRRIP set dueling.
+const PSEL_BITS: u32 = 10;
+/// Leader-set stride: one SRRIP and one BRRIP leader per 32 sets.
+const DUEL_STRIDE: usize = 32;
+
+/// Which RRIP variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RripMode {
+    /// SRRIP: always insert with long (RRPV = 2) prediction.
+    Static,
+    /// BRRIP: insert distant (RRPV = 3), long with probability 1/32.
+    Bimodal,
+    /// DRRIP: set dueling picks SRRIP or BRRIP for follower sets.
+    Dynamic,
+}
+
+/// Role of a set in DRRIP's dueling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetRole {
+    SrripLeader,
+    BrripLeader,
+    Follower,
+}
+
+fn role_of(set: usize) -> SetRole {
+    match set % DUEL_STRIDE {
+        0 => SetRole::SrripLeader,
+        16 => SetRole::BrripLeader,
+        _ => SetRole::Follower,
+    }
+}
+
+/// SRRIP / BRRIP / DRRIP replacement.
+#[derive(Debug)]
+pub struct RripPolicy {
+    mode: RripMode,
+    ways: usize,
+    rrpv: Vec<u8>,
+    rng: XorShift64,
+    /// DRRIP policy-selection counter; >= midpoint favours BRRIP.
+    psel: u32,
+}
+
+impl RripPolicy {
+    /// Creates RRIP state for `sets` x `ways`.
+    pub fn new(mode: RripMode, sets: usize, ways: usize, seed: u64) -> Self {
+        Self {
+            mode,
+            ways,
+            rrpv: vec![RRPV_MAX; sets * ways],
+            rng: XorShift64::new(seed ^ 0x5252_4950),
+            psel: 1 << (PSEL_BITS - 1),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// The insertion flavour effective for `set`.
+    fn effective_mode(&self, set: usize) -> RripMode {
+        match self.mode {
+            RripMode::Dynamic => match role_of(set) {
+                SetRole::SrripLeader => RripMode::Static,
+                SetRole::BrripLeader => RripMode::Bimodal,
+                SetRole::Follower => {
+                    if self.psel >= 1 << (PSEL_BITS - 1) {
+                        RripMode::Bimodal
+                    } else {
+                        RripMode::Static
+                    }
+                }
+            },
+            m => m,
+        }
+    }
+
+    fn duel_on_miss(&mut self, set: usize) {
+        if self.mode != RripMode::Dynamic {
+            return;
+        }
+        let max = (1 << PSEL_BITS) - 1;
+        match role_of(set) {
+            // A miss in an SRRIP leader is evidence against SRRIP.
+            SetRole::SrripLeader => self.psel = (self.psel + 1).min(max),
+            SetRole::BrripLeader => self.psel = self.psel.saturating_sub(1),
+            SetRole::Follower => {}
+        }
+    }
+
+    fn insertion_rrpv(&mut self, set: usize, info: &AccessInfo) -> u8 {
+        if info.mru_hint {
+            // SFL hint (§5.1): "placed at the MRU position".
+            return 0;
+        }
+        match self.effective_mode(set) {
+            RripMode::Static => RRPV_LONG,
+            RripMode::Bimodal | RripMode::Dynamic => {
+                if self.rng.one_in(BRRIP_ONE_IN) {
+                    RRPV_LONG
+                } else {
+                    RRPV_MAX
+                }
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for RripPolicy {
+    fn name(&self) -> String {
+        match self.mode {
+            RripMode::Static => "srrip".to_string(),
+            RripMode::Bimodal => "brrip".to_string(),
+            RripMode::Dynamic => "drrip".to_string(),
+        }
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _lines: &[LineState], _info: &AccessInfo) {
+        // Hit promotion to near-immediate re-reference (RRIP-HP).
+        let i = self.idx(set, way);
+        self.rrpv[i] = 0;
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _lines: &[LineState], info: &AccessInfo) {
+        self.duel_on_miss(set);
+        let v = self.insertion_rrpv(set, info);
+        let i = self.idx(set, way);
+        self.rrpv[i] = v;
+    }
+
+    fn victim(&mut self, set: usize, lines: &[LineState], _info: &AccessInfo) -> usize {
+        debug_assert!(lines.iter().any(|l| l.valid));
+        loop {
+            for (way, line) in lines.iter().enumerate() {
+                if line.valid && self.rrpv[self.idx(set, way)] == RRPV_MAX {
+                    return way;
+                }
+            }
+            // Age everything and rescan.
+            for (way, line) in lines.iter().enumerate() {
+                if line.valid {
+                    let i = self.idx(set, way);
+                    self.rrpv[i] = (self.rrpv[i] + 1).min(RRPV_MAX);
+                }
+            }
+        }
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        let i = self.idx(set, way);
+        self.rrpv[i] = RRPV_MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::LineKind;
+
+    fn full_set(ways: usize) -> Vec<LineState> {
+        (0..ways)
+            .map(|i| LineState {
+                tag: i as u64,
+                valid: true,
+                kind: LineKind::Data,
+                ..LineState::invalid()
+            })
+            .collect()
+    }
+
+    fn info() -> AccessInfo {
+        AccessInfo::demand(LineKind::Data)
+    }
+
+    #[test]
+    fn srrip_inserts_long_and_hits_promote() {
+        let mut p = RripPolicy::new(RripMode::Static, 4, 4, 1);
+        let lines = full_set(4);
+        p.on_fill(0, 0, &lines, &info());
+        assert_eq!(p.rrpv[0], RRPV_LONG);
+        p.on_hit(0, 0, &lines, &info());
+        assert_eq!(p.rrpv[0], 0);
+    }
+
+    #[test]
+    fn victim_prefers_distant_lines() {
+        let mut p = RripPolicy::new(RripMode::Static, 1, 4, 1);
+        let lines = full_set(4);
+        for w in 0..4 {
+            p.on_fill(0, w, &lines, &info());
+        }
+        p.on_hit(0, 2, &lines, &info()); // rrpv[2] = 0
+        // All at 2 except way 2 at 0: aging makes ways 0,1,3 reach 3 first.
+        let v = p.victim(0, &lines, &info());
+        assert_ne!(v, 2);
+    }
+
+    #[test]
+    fn victim_ages_until_distant_exists() {
+        let mut p = RripPolicy::new(RripMode::Static, 1, 2, 1);
+        let lines = full_set(2);
+        p.on_fill(0, 0, &lines, &info());
+        p.on_hit(0, 0, &lines, &info());
+        p.on_fill(0, 1, &lines, &info());
+        p.on_hit(0, 1, &lines, &info());
+        // Both at 0; aging must terminate and return a victim.
+        let v = p.victim(0, &lines, &info());
+        assert!(v < 2);
+        assert!(p.rrpv.contains(&RRPV_MAX));
+    }
+
+    #[test]
+    fn brrip_mostly_inserts_distant() {
+        let mut p = RripPolicy::new(RripMode::Bimodal, 1, 4, 7);
+        let lines = full_set(4);
+        let mut distant = 0;
+        for _ in 0..3200 {
+            p.on_fill(0, 0, &lines, &info());
+            if p.rrpv[0] == RRPV_MAX {
+                distant += 1;
+            }
+        }
+        // ~31/32 distant.
+        assert!(distant > 2900, "distant = {distant}");
+    }
+
+    #[test]
+    fn mru_hint_inserts_at_zero() {
+        let mut p = RripPolicy::new(RripMode::Bimodal, 1, 4, 7);
+        let lines = full_set(4);
+        p.on_fill(0, 1, &lines, &info().with_mru_hint(true));
+        assert_eq!(p.rrpv[1], 0);
+    }
+
+    #[test]
+    fn drrip_leader_sets_follow_fixed_modes() {
+        let p = RripPolicy::new(RripMode::Dynamic, 64, 4, 7);
+        assert_eq!(p.effective_mode(0), RripMode::Static);
+        assert_eq!(p.effective_mode(16), RripMode::Bimodal);
+        assert_eq!(p.effective_mode(32), RripMode::Static);
+    }
+
+    #[test]
+    fn drrip_psel_moves_followers() {
+        let mut p = RripPolicy::new(RripMode::Dynamic, 64, 4, 7);
+        let lines = full_set(4);
+        // Hammer misses into the BRRIP leader: evidence against BRRIP.
+        for _ in 0..2000 {
+            p.on_fill(16, 0, &lines, &info());
+        }
+        assert_eq!(p.effective_mode(1), RripMode::Static);
+        // Now hammer the SRRIP leader harder.
+        for _ in 0..4000 {
+            p.on_fill(0, 0, &lines, &info());
+        }
+        assert_eq!(p.effective_mode(1), RripMode::Bimodal);
+    }
+
+    #[test]
+    fn invalidate_marks_way_distant() {
+        let mut p = RripPolicy::new(RripMode::Static, 1, 4, 1);
+        let lines = full_set(4);
+        for w in 0..4 {
+            p.on_fill(0, w, &lines, &info());
+        }
+        p.on_hit(0, 3, &lines, &info());
+        p.on_invalidate(0, 3);
+        assert_eq!(p.rrpv[3], RRPV_MAX);
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic pseudo-random number generation for simulated hardware.
+//!
+//! The paper's `R(r)` mode-selection signal and BRRIP's 1/32 insertion both
+//! need a cheap pseudo-random source. Real hardware would use an LFSR; we
+//! use xorshift64*, seeded per structure, so every simulation is
+//! bit-reproducible independent of external crates.
+
+/// A xorshift64* PRNG.
+///
+/// # Example
+///
+/// ```
+/// use emissary_cache::rng::XorShift64;
+///
+/// let mut a = XorShift64::new(7);
+/// let mut b = XorShift64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed (zero is mapped to a fixed non-zero
+    /// constant, since xorshift cannot leave the all-zero state).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform value in `[0, bound)`. Returns 0 when `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Bernoulli draw: true with probability `1/denominator`.
+    ///
+    /// `denominator == 0` always returns false; `1` always returns true.
+    /// This matches the paper's `R(1/32)` notation.
+    pub fn one_in(&mut self, denominator: u32) -> bool {
+        match denominator {
+            0 => false,
+            1 => true,
+            d => self.next_below(d as u64) == 0,
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Default for XorShift64 {
+    fn default() -> Self {
+        Self::new(0x5eed_cafe_f00d_1234)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn one_in_edge_cases() {
+        let mut r = XorShift64::new(1);
+        assert!(!r.one_in(0));
+        assert!(r.one_in(1));
+    }
+
+    #[test]
+    fn one_in_32_is_roughly_uniform() {
+        let mut r = XorShift64::new(42);
+        let hits = (0..320_000).filter(|_| r.one_in(32)).count();
+        // Expect ~10_000; allow generous tolerance.
+        assert!((8_000..12_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = XorShift64::new(3);
+        for _ in 0..1000 {
+            assert!(r.next_below(17) < 17);
+        }
+        assert_eq!(r.next_below(0), 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = XorShift64::new(9);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Isolated test: cyclic instruction stream over 2MB with EMISSARY L2.
+use emissary_cache::config::HierarchyConfig;
+use emissary_cache::hierarchy::{Hierarchy, ServedBy};
+use emissary_core::spec::PolicySpec;
+
+fn main() {
+    let cfg = HierarchyConfig::alderlake_like();
+    let spec: PolicySpec = "P(8):S".parse().unwrap();
+    let pol = spec.build_l2_policy(cfg.l2.sets(), cfg.l2.ways, 1);
+    let mut h = Hierarchy::with_l2_policy(cfg, pol);
+    let lines = 32 * 1024u64; // 2MB of instr lines, cyclic
+    let mut now = 0u64;
+    // lap 0: touch all, mark every 4th line high-priority at resolve time
+    for lap in 0..6 {
+        let mut l2_hits = 0u64;
+        let mut marked_hits = 0u64;
+        let mut total = 0u64;
+        for l in 0..lines {
+            now += 4;
+            let m = h.access_instr(l, now, false);
+            total += 1;
+            if matches!(m.served_by, ServedBy::L2) {
+                l2_hits += 1;
+                if h.l2.priority_of(l) == Some(true) { marked_hits += 1; }
+            }
+            if m.needs_resolution {
+                // resolve immediately; mark every 4th line
+                let mark = (l / 1024) % 4 == 0; // 8 of each set's 32 lines
+                h.resolve_instr_fill(l, mark);
+                if mark {
+                    h.mark_instr_priority(l);
+                }
+            }
+        }
+        let counts = h.l2.priority_counts_per_set();
+        let sat = counts.iter().filter(|&&c| c >= 8).count();
+        let total_hi: u32 = counts.iter().sum();
+        println!("lap {lap}: l2_hits {l2_hits}/{total} marked_hits {marked_hits} hi_lines {total_hi} sat_sets {sat}");
+    }
+}

@@ -1,0 +1,349 @@
+//! The EMISSARY `P(N)` replacement policy (paper §4.2, Algorithm 1).
+//!
+//! `P(N)` "techniques do not act on priority at insertion. Instead, the
+//! priority is recorded as a priority bit (`P`) associated with each line
+//! that impacts eviction":
+//!
+//! ```text
+//! if number of high-priority (P = 1) lines <= N then
+//!     evict the LRU among the low-priority (P = 0) lines
+//! else
+//!     evict the LRU among high-priority lines
+//! ```
+//!
+//! The `P` bits themselves live in the cache's [`LineState`]; they are set
+//! by the starvation plumbing (L1I marks on selected misses, the bit
+//! transfers to the L2 copy on L1I eviction) and are *persistent*: once a
+//! set accumulates `N` high-priority lines it can go below `N` only through
+//! invalidations or the §6 reset mechanism.
+
+use emissary_cache::line::LineState;
+use emissary_cache::policy::{AccessInfo, ReplacementPolicy};
+
+use crate::dual::{DualRecency, RecencyFlavor};
+
+/// The EMISSARY `P(N)` eviction policy. See module docs.
+#[derive(Debug)]
+pub struct EmissaryPolicy {
+    n_protect: usize,
+    recency: DualRecency,
+    display_name: String,
+    /// §2's rejected variant: low-priority fills bypass the cache once the
+    /// set holds `n_protect` high-priority lines. "Having low-priority
+    /// lines bypass the cache was not found to be effective" — kept to
+    /// reproduce that negative result.
+    bypass_saturated: bool,
+}
+
+impl EmissaryPolicy {
+    /// Creates a `P(n_protect)` policy for `sets` x `ways`.
+    ///
+    /// `display_name` is the full notation (e.g. `"P(8):S&E&R(1/32)"`) so
+    /// reports show the complete policy, selection included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_protect >= ways`: at least one way must remain available
+    /// to low-priority lines, since all insertions start low-priority.
+    pub fn new(
+        n_protect: usize,
+        flavor: RecencyFlavor,
+        sets: usize,
+        ways: usize,
+        display_name: String,
+    ) -> Self {
+        assert!(
+            n_protect < ways,
+            "P(N) requires N < ways (got N = {n_protect}, ways = {ways})"
+        );
+        Self {
+            n_protect,
+            recency: DualRecency::new(flavor, sets, ways),
+            display_name,
+            bypass_saturated: false,
+        }
+    }
+
+    /// Enables the §2 bypass variant (see the `bypass_saturated` field).
+    pub fn with_bypass(mut self) -> Self {
+        self.bypass_saturated = true;
+        self
+    }
+
+    /// Maximum number of protected high-priority lines per set.
+    pub fn n_protect(&self) -> usize {
+        self.n_protect
+    }
+
+    fn masks(lines: &[LineState]) -> (u32, u32) {
+        let mut high = 0u32;
+        let mut low = 0u32;
+        for (w, l) in lines.iter().enumerate() {
+            if !l.valid {
+                continue;
+            }
+            if l.priority {
+                high |= 1 << w;
+            } else {
+                low |= 1 << w;
+            }
+        }
+        (high, low)
+    }
+}
+
+impl ReplacementPolicy for EmissaryPolicy {
+    fn name(&self) -> String {
+        self.display_name.clone()
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, lines: &[LineState], _info: &AccessInfo) {
+        // "When a high-priority line is accessed, only the high-priority
+        // tree is updated. Likewise for a low-priority line and tree."
+        self.recency.touch(set, way, lines[way].priority);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, lines: &[LineState], _info: &AccessInfo) {
+        self.recency.touch(set, way, lines[way].priority);
+    }
+
+    fn victim(&mut self, set: usize, lines: &[LineState], _info: &AccessInfo) -> usize {
+        let (high, low) = Self::masks(lines);
+        let high_count = high.count_ones() as usize;
+        // Algorithm 1, with a fallback per class in case the preferred
+        // class is empty (possible only via invalidations or N edge cases).
+        let choice = if high_count <= self.n_protect {
+            self.recency
+                .lru_among(set, low, false)
+                .or_else(|| self.recency.lru_among(set, high, true))
+        } else {
+            self.recency
+                .lru_among(set, high, true)
+                .or_else(|| self.recency.lru_among(set, low, false))
+        };
+        choice.expect("victim() requires at least one valid line")
+    }
+
+    fn should_bypass(&mut self, _set: usize, lines: &[LineState], info: &AccessInfo) -> bool {
+        if !self.bypass_saturated || !info.kind.is_instruction() || info.high_priority {
+            return false;
+        }
+        // Bypass low-priority instruction fills once the set is saturated
+        // with protected lines and completely valid.
+        let high = lines.iter().filter(|l| l.is_high_priority()).count();
+        high >= self.n_protect && lines.iter().all(|l| l.valid)
+    }
+
+    fn on_priority_change(&mut self, set: usize, way: usize, lines: &[LineState]) {
+        // The line migrated classes (normally low -> high when the L1I
+        // communicates P on eviction): refresh it in its new class's
+        // structure so it starts as that class's MRU.
+        self.recency.touch(set, way, lines[way].priority);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emissary_cache::line::LineKind;
+
+    fn mk_lines(priorities: &[Option<bool>]) -> Vec<LineState> {
+        priorities
+            .iter()
+            .enumerate()
+            .map(|(i, p)| match p {
+                Some(high) => LineState {
+                    tag: i as u64,
+                    valid: true,
+                    kind: LineKind::Instruction,
+                    priority: *high,
+                    ..LineState::invalid()
+                },
+                None => LineState::invalid(),
+            })
+            .collect()
+    }
+
+    fn policy(n: usize, ways: usize) -> EmissaryPolicy {
+        EmissaryPolicy::new(
+            n,
+            RecencyFlavor::TrueLru,
+            1,
+            ways,
+            format!("P({n}):test"),
+        )
+    }
+
+    fn info() -> AccessInfo {
+        AccessInfo::demand(LineKind::Instruction)
+    }
+
+    #[test]
+    fn protects_high_priority_when_under_limit() {
+        let mut p = policy(2, 4);
+        let lines = mk_lines(&[Some(true), Some(false), Some(true), Some(false)]);
+        for w in 0..4 {
+            p.on_fill(0, w, &lines, &info());
+        }
+        // 2 high-priority lines <= N = 2: must evict a low-priority line,
+        // specifically the LRU one (way 1 filled before way 3).
+        assert_eq!(p.victim(0, &lines, &info()), 1);
+    }
+
+    #[test]
+    fn evicts_high_priority_lru_when_over_limit() {
+        let mut p = policy(2, 4);
+        let lines = mk_lines(&[Some(true), Some(true), Some(true), Some(false)]);
+        for w in 0..4 {
+            p.on_fill(0, w, &lines, &info());
+        }
+        // 3 high > N = 2: evict LRU among high (way 0).
+        assert_eq!(p.victim(0, &lines, &info()), 0);
+    }
+
+    #[test]
+    fn boundary_exactly_n_still_protects() {
+        let mut p = policy(3, 4);
+        let lines = mk_lines(&[Some(true), Some(true), Some(true), Some(false)]);
+        for w in 0..4 {
+            p.on_fill(0, w, &lines, &info());
+        }
+        // high_count == N: condition is <=, so low-priority way 3 goes.
+        assert_eq!(p.victim(0, &lines, &info()), 3);
+    }
+
+    #[test]
+    fn falls_back_when_preferred_class_empty() {
+        let mut p = policy(3, 4);
+        // All high but count (4) > N (3): evict among high — fine. Now all
+        // high with count <= N can only happen with invalid ways, and then
+        // victim() isn't called. Exercise the other fallback: no high lines
+        // with the over-limit branch can't happen; instead check all-high
+        // under-limit via N = 3 and 3 valid high lines + 1 invalid.
+        let lines = mk_lines(&[Some(true), Some(true), Some(true), None]);
+        for w in 0..3 {
+            p.on_fill(0, w, &lines, &info());
+        }
+        // 3 high <= 3, no low-priority line exists: falls back to high LRU.
+        assert_eq!(p.victim(0, &lines, &info()), 0);
+    }
+
+    #[test]
+    fn hit_refreshes_only_its_class() {
+        let mut p = policy(2, 4);
+        let lines = mk_lines(&[Some(false), Some(false), Some(true), Some(true)]);
+        for w in 0..4 {
+            p.on_fill(0, w, &lines, &info());
+        }
+        p.on_hit(0, 0, &lines, &info());
+        // Low LRU is now way 1.
+        assert_eq!(p.victim(0, &lines, &info()), 1);
+    }
+
+    #[test]
+    fn priority_change_moves_line_to_high_class() {
+        let mut p = policy(1, 2);
+        let mut lines = mk_lines(&[Some(false), Some(false)]);
+        p.on_fill(0, 0, &lines, &info());
+        p.on_fill(0, 1, &lines, &info());
+        lines[0].priority = true;
+        p.on_priority_change(0, 0, &lines);
+        // One high (way 0) <= N = 1: evict LRU among low = way 1.
+        assert_eq!(p.victim(0, &lines, &info()), 1);
+    }
+
+    #[test]
+    fn data_lines_participate_as_low_priority() {
+        let mut p = policy(2, 4);
+        let mut lines = mk_lines(&[Some(true), Some(true), Some(false), Some(false)]);
+        lines[2].kind = LineKind::Data;
+        lines[3].kind = LineKind::Data;
+        for w in 0..4 {
+            p.on_fill(0, w, &lines, &info());
+        }
+        let v = p.victim(0, &lines, &info());
+        assert!(v == 2 || v == 3, "data (low-priority) line expected, got {v}");
+    }
+
+    #[test]
+    fn tplru_flavor_respects_algorithm_one() {
+        let mut p = EmissaryPolicy::new(
+            2,
+            RecencyFlavor::TreePlru,
+            1,
+            8,
+            "P(2):tplru-test".to_string(),
+        );
+        let lines = mk_lines(&[
+            Some(true),
+            Some(false),
+            Some(true),
+            Some(false),
+            Some(false),
+            Some(false),
+            Some(false),
+            Some(true),
+        ]);
+        for w in 0..8 {
+            p.on_fill(0, w, &lines, &info());
+        }
+        // 3 high > N = 2: victim must be high-priority.
+        let v = p.victim(0, &lines, &info());
+        assert!(lines[v].priority, "victim {v} should be high-priority");
+    }
+
+    #[test]
+    fn name_carries_full_notation() {
+        let p = policy(8, 16);
+        assert_eq!(p.name(), "P(8):test");
+        assert_eq!(p.n_protect(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_n_equal_ways() {
+        policy(4, 4);
+    }
+}
+
+#[cfg(test)]
+mod bypass_tests {
+    use super::*;
+    use emissary_cache::line::LineKind;
+
+    fn full(high_count: usize, ways: usize) -> Vec<LineState> {
+        (0..ways)
+            .map(|i| LineState {
+                tag: i as u64,
+                valid: true,
+                kind: LineKind::Instruction,
+                priority: i < high_count,
+                ..LineState::invalid()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bypass_only_when_saturated_and_enabled() {
+        let info = AccessInfo::demand(LineKind::Instruction);
+        let mut plain = EmissaryPolicy::new(2, RecencyFlavor::TrueLru, 1, 4, "p".into());
+        assert!(!plain.should_bypass(0, &full(4, 4), &info));
+        let mut byp =
+            EmissaryPolicy::new(2, RecencyFlavor::TrueLru, 1, 4, "p".into()).with_bypass();
+        assert!(byp.should_bypass(0, &full(2, 4), &info));
+        assert!(!byp.should_bypass(0, &full(1, 4), &info));
+        // High-priority fills and data fills always insert.
+        assert!(!byp.should_bypass(0, &full(2, 4), &info.with_priority(true)));
+        assert!(!byp.should_bypass(0, &full(2, 4), &AccessInfo::demand(LineKind::Data)));
+    }
+
+    #[test]
+    fn bypass_requires_full_set() {
+        let mut byp =
+            EmissaryPolicy::new(1, RecencyFlavor::TrueLru, 1, 4, "p".into()).with_bypass();
+        let mut lines = full(2, 4);
+        lines[3].valid = false;
+        let info = AccessInfo::demand(LineKind::Instruction);
+        assert!(!byp.should_bypass(0, &lines, &info));
+    }
+}

@@ -1,0 +1,432 @@
+//! GHRP-style dead-block prediction and its combination with EMISSARY.
+//!
+//! §7.2 discusses GHRP (Ajorpaz et al., ISCA 2018), "an instruction cache
+//! replacement policy focused on minimizing the number of misses by
+//! identifying dead blocks", and notes that "GHRP's dead-block prediction
+//! mechanism could be combined with EMISSARY to identify the low-priority
+//! dead blocks for eviction. Doing so might further improve the performance
+//! of EMISSARY." This module implements both:
+//!
+//! * [`GhrpPolicy`] — a standalone dead-block-predicting policy: a table of
+//!   saturating counters indexed by a hash of the line address and a global
+//!   history of recent block addresses predicts whether a line will be
+//!   reused before eviction; predicted-dead lines are preferred victims,
+//!   tree-PLRU breaks ties.
+//! * [`EmissaryGhrpPolicy`] — the paper's suggested combination: Algorithm 1
+//!   chooses the priority class exactly as EMISSARY does, and *within the
+//!   low-priority class* the dead-block predictor picks the victim.
+//!
+//! The predictor here is a deliberately compact GHRP: one table of 2-bit
+//! counters trained on eviction outcomes (dead = evicted without a hit
+//! since fill), indexed by `hash(line, folded global history)`. The
+//! original uses multiple tables and sampled training; this captures the
+//! mechanism the paper's discussion relies on.
+
+use emissary_cache::line::LineState;
+use emissary_cache::policy::{AccessInfo, PlruTree, ReplacementPolicy};
+
+use crate::dual::{DualRecency, RecencyFlavor};
+
+/// log2 of the predictor table size.
+const TABLE_BITS: u32 = 14;
+/// Counter value at/above which a signature predicts "dead".
+const DEAD_THRESHOLD: u8 = 2;
+/// Counter maximum (2-bit).
+const COUNTER_MAX: u8 = 3;
+
+/// Compact dead-block predictor shared by both policies.
+#[derive(Debug, Clone)]
+pub struct DeadBlockPredictor {
+    counters: Vec<u8>,
+    /// Folded history of recently filled line addresses.
+    history: u64,
+}
+
+impl DeadBlockPredictor {
+    /// Creates an untrained predictor (everything predicted live).
+    pub fn new() -> Self {
+        Self {
+            counters: vec![0; 1 << TABLE_BITS],
+            history: 0,
+        }
+    }
+
+    /// Signature of a line under the current global history.
+    pub fn signature(&self, line_addr: u64) -> u32 {
+        let h = line_addr ^ (line_addr >> 13) ^ (self.history & 0xffff);
+        (h as u32 ^ (h >> 17) as u32) & ((1 << TABLE_BITS) - 1)
+    }
+
+    /// Advances the global history with a filled line address.
+    pub fn record_fill(&mut self, line_addr: u64) {
+        self.history = (self.history << 3) ^ (line_addr & 0xfff);
+    }
+
+    /// Whether `sig` currently predicts dead-on-fill.
+    pub fn predicts_dead(&self, sig: u32) -> bool {
+        self.counters[sig as usize] >= DEAD_THRESHOLD
+    }
+
+    /// Trains the signature with an eviction outcome.
+    pub fn train(&mut self, sig: u32, was_dead: bool) {
+        let c = &mut self.counters[sig as usize];
+        if was_dead {
+            *c = (*c + 1).min(COUNTER_MAX);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+impl Default for DeadBlockPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-line predictor bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineMeta {
+    /// Signature captured at fill time (trained at eviction).
+    sig: u32,
+    /// Whether the line has hit since it was filled.
+    reused: bool,
+}
+
+/// Standalone GHRP-style policy. See module docs.
+#[derive(Debug)]
+pub struct GhrpPolicy {
+    ways: usize,
+    predictor: DeadBlockPredictor,
+    meta: Vec<LineMeta>,
+    trees: Vec<PlruTree>,
+}
+
+impl GhrpPolicy {
+    /// Creates the policy for `sets` x `ways`.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            ways,
+            predictor: DeadBlockPredictor::new(),
+            meta: vec![LineMeta::default(); sets * ways],
+            trees: vec![PlruTree::new(ways); sets],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Victim among `mask`: prefer predicted-dead lines (highest counter
+    /// confidence first via predicts_dead), else PLRU within the mask.
+    fn pick(&self, set: usize, mask: u32) -> Option<usize> {
+        let dead_mask = (0..self.ways)
+            .filter(|&w| mask & (1 << w) != 0)
+            .filter(|&w| self.predictor.predicts_dead(self.meta[self.idx(set, w)].sig))
+            .fold(0u32, |m, w| m | (1 << w));
+        let effective = if dead_mask != 0 { dead_mask } else { mask };
+        self.trees[set].victim_masked(effective)
+    }
+
+    /// Trains the predictor when a line leaves the cache.
+    fn train_eviction(&mut self, set: usize, way: usize) {
+        let m = self.meta[self.idx(set, way)];
+        self.predictor.train(m.sig, !m.reused);
+    }
+}
+
+fn valid_mask(lines: &[LineState]) -> u32 {
+    lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.valid)
+        .fold(0u32, |m, (w, _)| m | (1 << w))
+}
+
+impl ReplacementPolicy for GhrpPolicy {
+    fn name(&self) -> String {
+        "ghrp".to_string()
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _lines: &[LineState], _info: &AccessInfo) {
+        let i = self.idx(set, way);
+        self.meta[i].reused = true;
+        self.trees[set].touch(way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, lines: &[LineState], _info: &AccessInfo) {
+        // The displaced line's outcome trains the predictor via
+        // on_invalidate/victim path; here we start the new line's life.
+        let sig = self.predictor.signature(lines[way].tag);
+        let i = self.idx(set, way);
+        self.meta[i] = LineMeta { sig, reused: false };
+        self.predictor.record_fill(lines[way].tag);
+        self.trees[set].touch(way);
+    }
+
+    fn victim(&mut self, set: usize, lines: &[LineState], _info: &AccessInfo) -> usize {
+        let v = self
+            .pick(set, valid_mask(lines))
+            .expect("victim() requires at least one valid line");
+        self.train_eviction(set, v);
+        v
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.train_eviction(set, way);
+    }
+}
+
+/// EMISSARY + GHRP: Algorithm 1 class selection, dead-block victim choice
+/// within the chosen class. See module docs.
+#[derive(Debug)]
+pub struct EmissaryGhrpPolicy {
+    n_protect: usize,
+    ways: usize,
+    recency: DualRecency,
+    predictor: DeadBlockPredictor,
+    meta: Vec<LineMeta>,
+    display_name: String,
+}
+
+impl EmissaryGhrpPolicy {
+    /// Creates the combined policy for `sets` x `ways`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_protect >= ways` (see
+    /// [`crate::emissary::EmissaryPolicy::new`]).
+    pub fn new(
+        n_protect: usize,
+        flavor: RecencyFlavor,
+        sets: usize,
+        ways: usize,
+        display_name: String,
+    ) -> Self {
+        assert!(n_protect < ways, "P(N)+GHRP requires N < ways");
+        Self {
+            n_protect,
+            ways,
+            recency: DualRecency::new(flavor, sets, ways),
+            predictor: DeadBlockPredictor::new(),
+            meta: vec![LineMeta::default(); sets * ways],
+            display_name,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn masks(lines: &[LineState]) -> (u32, u32) {
+        let mut high = 0u32;
+        let mut low = 0u32;
+        for (w, l) in lines.iter().enumerate() {
+            if !l.valid {
+                continue;
+            }
+            if l.priority {
+                high |= 1 << w;
+            } else {
+                low |= 1 << w;
+            }
+        }
+        (high, low)
+    }
+
+    /// Dead-preferred pick within `mask` of class `high`.
+    fn pick(&self, set: usize, mask: u32, high: bool) -> Option<usize> {
+        let dead_mask = (0..self.ways)
+            .filter(|&w| mask & (1 << w) != 0)
+            .filter(|&w| self.predictor.predicts_dead(self.meta[self.idx(set, w)].sig))
+            .fold(0u32, |m, w| m | (1 << w));
+        if dead_mask != 0 {
+            // Dead lines exist: evict the recency-coldest among them.
+            self.recency.lru_among(set, dead_mask, high)
+        } else {
+            self.recency.lru_among(set, mask, high)
+        }
+    }
+
+    fn train_eviction(&mut self, set: usize, way: usize) {
+        let m = self.meta[self.idx(set, way)];
+        self.predictor.train(m.sig, !m.reused);
+    }
+}
+
+impl ReplacementPolicy for EmissaryGhrpPolicy {
+    fn name(&self) -> String {
+        self.display_name.clone()
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, lines: &[LineState], _info: &AccessInfo) {
+        let i = self.idx(set, way);
+        self.meta[i].reused = true;
+        self.recency.touch(set, way, lines[way].priority);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, lines: &[LineState], _info: &AccessInfo) {
+        let sig = self.predictor.signature(lines[way].tag);
+        let i = self.idx(set, way);
+        self.meta[i] = LineMeta { sig, reused: false };
+        self.predictor.record_fill(lines[way].tag);
+        self.recency.touch(set, way, lines[way].priority);
+    }
+
+    fn victim(&mut self, set: usize, lines: &[LineState], _info: &AccessInfo) -> usize {
+        let (high, low) = Self::masks(lines);
+        let high_count = high.count_ones() as usize;
+        // Algorithm 1's class choice; GHRP refines the within-class pick.
+        let choice = if high_count <= self.n_protect {
+            self.pick(set, low, false)
+                .or_else(|| self.pick(set, high, true))
+        } else {
+            self.pick(set, high, true)
+                .or_else(|| self.pick(set, low, false))
+        };
+        let v = choice.expect("victim() requires at least one valid line");
+        self.train_eviction(set, v);
+        v
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.train_eviction(set, way);
+    }
+
+    fn on_priority_change(&mut self, set: usize, way: usize, lines: &[LineState]) {
+        self.recency.touch(set, way, lines[way].priority);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emissary_cache::line::LineKind;
+
+    fn lines(n: usize) -> Vec<LineState> {
+        (0..n)
+            .map(|i| LineState {
+                tag: 0x1000 + i as u64,
+                valid: true,
+                kind: LineKind::Instruction,
+                ..LineState::invalid()
+            })
+            .collect()
+    }
+
+    fn info() -> AccessInfo {
+        AccessInfo::demand(LineKind::Instruction)
+    }
+
+    #[test]
+    fn predictor_learns_dead_signatures() {
+        let mut p = DeadBlockPredictor::new();
+        let sig = p.signature(0x42);
+        assert!(!p.predicts_dead(sig));
+        p.train(sig, true);
+        p.train(sig, true);
+        assert!(p.predicts_dead(sig));
+        p.train(sig, false);
+        p.train(sig, false);
+        assert!(!p.predicts_dead(sig), "live training must clear prediction");
+    }
+
+    #[test]
+    fn ghrp_prefers_predicted_dead_victims() {
+        let mut p = GhrpPolicy::new(1, 4);
+        let ls = lines(4);
+        for w in 0..4 {
+            p.on_fill(0, w, &ls, &info());
+        }
+        // Train way 2's signature dead.
+        let sig = p.meta[2].sig;
+        p.predictor.train(sig, true);
+        p.predictor.train(sig, true);
+        // Touch everything so recency alone would pick way 0.
+        for w in [0, 1, 3] {
+            p.on_hit(0, w, &ls, &info());
+        }
+        assert_eq!(p.victim(0, &ls, &info()), 2);
+    }
+
+    #[test]
+    fn ghrp_falls_back_to_plru_when_nothing_dead() {
+        let mut p = GhrpPolicy::new(1, 4);
+        let ls = lines(4);
+        for w in 0..4 {
+            p.on_fill(0, w, &ls, &info());
+        }
+        let v = p.victim(0, &ls, &info());
+        assert!(v < 4);
+    }
+
+    #[test]
+    fn eviction_without_reuse_trains_dead() {
+        let mut p = GhrpPolicy::new(1, 2);
+        let ls = lines(2);
+        p.on_fill(0, 0, &ls, &info());
+        let sig = p.meta[0].sig;
+        // Evict way 0 twice without any hit: signature becomes dead.
+        p.on_invalidate(0, 0);
+        p.meta[0] = LineMeta { sig, reused: false };
+        p.on_invalidate(0, 0);
+        assert!(p.predictor.predicts_dead(sig));
+    }
+
+    #[test]
+    fn combo_respects_algorithm_one_classes() {
+        let mut p = EmissaryGhrpPolicy::new(
+            2,
+            RecencyFlavor::TreePlru,
+            1,
+            4,
+            "P(2):S+GHRP".to_string(),
+        );
+        let mut ls = lines(4);
+        ls[0].priority = true;
+        ls[1].priority = true;
+        ls[2].priority = true; // 3 high > N = 2
+        for w in 0..4 {
+            p.on_fill(0, w, &ls, &info());
+        }
+        let v = p.victim(0, &ls, &info());
+        assert!(ls[v].priority, "over-limit eviction must come from high class");
+
+        let mut ls2 = lines(4);
+        ls2[0].priority = true; // 1 high <= N = 2
+        for w in 0..4 {
+            p.on_fill(0, w, &ls2, &info());
+        }
+        let v = p.victim(0, &ls2, &info());
+        assert!(!ls2[v].priority, "under-limit eviction must come from low class");
+    }
+
+    #[test]
+    fn combo_prefers_dead_low_priority_lines() {
+        let mut p = EmissaryGhrpPolicy::new(
+            1,
+            RecencyFlavor::TrueLru,
+            1,
+            4,
+            "P(1):S+GHRP".to_string(),
+        );
+        let mut ls = lines(4);
+        ls[0].priority = true;
+        for w in 0..4 {
+            p.on_fill(0, w, &ls, &info());
+        }
+        // Train way 3 dead; recency alone would evict way 1 (oldest low).
+        let sig = p.meta[3].sig;
+        p.predictor.train(sig, true);
+        p.predictor.train(sig, true);
+        assert_eq!(p.victim(0, &ls, &info()), 3);
+    }
+
+    #[test]
+    fn combo_name_carries_notation() {
+        let p = EmissaryGhrpPolicy::new(8, RecencyFlavor::TreePlru, 4, 16, "P(8):S&E+GHRP".into());
+        assert_eq!(p.name(), "P(8):S&E+GHRP");
+    }
+}

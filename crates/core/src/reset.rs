@@ -1,0 +1,84 @@
+//! §6's periodic priority-reset mechanism.
+//!
+//! Once a set accumulates `N` high-priority lines, Algorithm 1 can never
+//! reduce the count; §6 proposes "resetting all P = 1 bits every 128M
+//! instructions", which "has a negligible impact on performance" while
+//! bounding saturation. This module provides the schedule; the simulator
+//! calls [`emissary_cache::Hierarchy::reset_instr_priorities`] when it fires.
+
+/// Instruction-count-based reset schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResetSchedule {
+    interval: u64,
+    next_at: u64,
+}
+
+impl ResetSchedule {
+    /// The paper's interval: 128 M instructions.
+    pub const PAPER_INTERVAL: u64 = 128_000_000;
+
+    /// Creates a schedule firing every `interval` committed instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    pub fn every(interval: u64) -> Self {
+        assert!(interval > 0, "reset interval must be positive");
+        Self {
+            interval,
+            next_at: interval,
+        }
+    }
+
+    /// The configured interval.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Returns true when the commit count has crossed the next boundary,
+    /// advancing the schedule. Multiple crossings collapse into one firing.
+    pub fn due(&mut self, committed_instructions: u64) -> bool {
+        if committed_instructions >= self.next_at {
+            while self.next_at <= committed_instructions {
+                self.next_at += self.interval;
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_each_interval_boundary() {
+        let mut s = ResetSchedule::every(100);
+        assert!(!s.due(99));
+        assert!(s.due(100));
+        assert!(!s.due(150));
+        assert!(s.due(200));
+    }
+
+    #[test]
+    fn multiple_crossings_collapse() {
+        let mut s = ResetSchedule::every(10);
+        assert!(s.due(55)); // crossed 10..50 all at once
+        assert!(!s.due(59));
+        assert!(s.due(60));
+    }
+
+    #[test]
+    fn paper_interval_constant() {
+        assert_eq!(ResetSchedule::PAPER_INTERVAL, 128_000_000);
+        assert_eq!(ResetSchedule::every(5).interval(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_rejected() {
+        ResetSchedule::every(0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Mode-selection equations (paper Table 1).
+//!
+//! Selection decides whether a missed line is *high-priority*. The paper
+//! composes three observable signals with Boolean AND:
+//!
+//! * `S` — the miss caused a decode starvation;
+//! * `E` — the issue queue was empty while the miss starved decode;
+//! * `R(1/r)` — a pseudo-random 1-in-`r` filter.
+//!
+//! plus the degenerate `1` (always) and `0` (never). Selection is evaluated
+//! **once**, when the miss resolves ("the mode selection is determined once
+//! during cache line insertion", §4.1).
+
+use emissary_cache::rng::XorShift64;
+
+/// The starvation-related signals observed during one instruction miss.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissFlags {
+    /// Decode starved while waiting for this line (`S`).
+    pub starved_decode: bool,
+    /// The issue queue was empty during that starvation (`E`).
+    pub empty_issue_queue: bool,
+}
+
+impl MissFlags {
+    /// No starvation observed.
+    pub const NONE: MissFlags = MissFlags {
+        starved_decode: false,
+        empty_issue_queue: false,
+    };
+
+    /// Merges signals observed at different cycles of the same miss.
+    pub fn merge(&mut self, other: MissFlags) {
+        self.starved_decode |= other.starved_decode;
+        self.empty_issue_queue |= other.empty_issue_queue;
+    }
+}
+
+/// A Table 1 selection equation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionExpr {
+    /// `1`: every line is high-priority (classic LRU's degenerate mode).
+    Always,
+    /// `0`: no line is ever high-priority (LIP's degenerate mode).
+    Never,
+    /// A conjunction of `S`, `E` and `R(1/r)` terms. At least one term is
+    /// present (enforced by the parser); `random_one_in = Some(r)` adds the
+    /// `R(1/r)` factor.
+    Conj {
+        /// Require the decode-starvation signal (`S`).
+        starvation: bool,
+        /// Require the empty-issue-queue signal (`E`).
+        empty_iq: bool,
+        /// Random filter denominator `r` for `R(1/r)`.
+        random_one_in: Option<u32>,
+    },
+}
+
+impl SelectionExpr {
+    /// The paper's preferred EMISSARY selection, `S&E&R(1/32)`.
+    pub const PREFERRED: SelectionExpr = SelectionExpr::Conj {
+        starvation: true,
+        empty_iq: true,
+        random_one_in: Some(32),
+    };
+
+    /// `S` alone.
+    pub const STARVATION: SelectionExpr = SelectionExpr::Conj {
+        starvation: true,
+        empty_iq: false,
+        random_one_in: None,
+    };
+
+    /// `S&E`.
+    pub const STARVATION_EMPTY_IQ: SelectionExpr = SelectionExpr::Conj {
+        starvation: true,
+        empty_iq: true,
+        random_one_in: None,
+    };
+
+    /// `R(1/r)` alone (BIP's selection).
+    pub fn random(r: u32) -> SelectionExpr {
+        SelectionExpr::Conj {
+            starvation: false,
+            empty_iq: false,
+            random_one_in: Some(r),
+        }
+    }
+
+    /// Evaluates the equation for one miss. Consumes randomness from `rng`
+    /// only when an `R` term is present, keeping policy streams comparable
+    /// across configurations.
+    pub fn evaluate(&self, flags: MissFlags, rng: &mut XorShift64) -> bool {
+        match *self {
+            SelectionExpr::Always => true,
+            SelectionExpr::Never => false,
+            SelectionExpr::Conj {
+                starvation,
+                empty_iq,
+                random_one_in,
+            } => {
+                if starvation && !flags.starved_decode {
+                    return false;
+                }
+                if empty_iq && !flags.empty_issue_queue {
+                    return false;
+                }
+                match random_one_in {
+                    Some(r) => rng.one_in(r),
+                    None => true,
+                }
+            }
+        }
+    }
+
+    /// Whether the equation reads the starvation signal (i.e. the policy
+    /// needs the decode-starvation plumbing at all).
+    pub fn uses_starvation(&self) -> bool {
+        matches!(
+            self,
+            SelectionExpr::Conj {
+                starvation: true,
+                ..
+            }
+        )
+    }
+
+    /// Parses the paper's notation: `1`, `0`, or `&`-joined `S`, `E`,
+    /// `R(1/r)` terms.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        match s {
+            "1" => return Ok(SelectionExpr::Always),
+            "0" => return Ok(SelectionExpr::Never),
+            "" => return Err("empty selection expression".to_string()),
+            _ => {}
+        }
+        let mut starvation = false;
+        let mut empty_iq = false;
+        let mut random_one_in = None;
+        for term in s.split('&') {
+            let term = term.trim();
+            if term == "S" {
+                if starvation {
+                    return Err("duplicate S term".to_string());
+                }
+                starvation = true;
+            } else if term == "E" {
+                if empty_iq {
+                    return Err("duplicate E term".to_string());
+                }
+                empty_iq = true;
+            } else if let Some(inner) = term.strip_prefix("R(").and_then(|t| t.strip_suffix(')')) {
+                if random_one_in.is_some() {
+                    return Err("duplicate R term".to_string());
+                }
+                let denom = inner
+                    .strip_prefix("1/")
+                    .ok_or_else(|| format!("R ratio must be 1/r, got {inner:?}"))?;
+                let denom: u32 = denom
+                    .parse()
+                    .map_err(|_| format!("bad R denominator {denom:?}"))?;
+                if denom == 0 {
+                    return Err("R denominator must be positive".to_string());
+                }
+                random_one_in = Some(denom);
+            } else {
+                return Err(format!("unknown selection term {term:?}"));
+            }
+        }
+        Ok(SelectionExpr::Conj {
+            starvation,
+            empty_iq,
+            random_one_in,
+        })
+    }
+}
+
+impl std::fmt::Display for SelectionExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SelectionExpr::Always => f.write_str("1"),
+            SelectionExpr::Never => f.write_str("0"),
+            SelectionExpr::Conj {
+                starvation,
+                empty_iq,
+                random_one_in,
+            } => {
+                let mut terms = Vec::new();
+                if starvation {
+                    terms.push("S".to_string());
+                }
+                if empty_iq {
+                    terms.push("E".to_string());
+                }
+                if let Some(r) = random_one_in {
+                    terms.push(format!("R(1/{r})"));
+                }
+                f.write_str(&terms.join("&"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> XorShift64 {
+        XorShift64::new(99)
+    }
+
+    const BOTH: MissFlags = MissFlags {
+        starved_decode: true,
+        empty_issue_queue: true,
+    };
+    const S_ONLY: MissFlags = MissFlags {
+        starved_decode: true,
+        empty_issue_queue: false,
+    };
+
+    #[test]
+    fn always_and_never() {
+        let mut r = rng();
+        assert!(SelectionExpr::Always.evaluate(MissFlags::NONE, &mut r));
+        assert!(!SelectionExpr::Never.evaluate(BOTH, &mut r));
+    }
+
+    #[test]
+    fn starvation_requires_signal() {
+        let mut r = rng();
+        assert!(SelectionExpr::STARVATION.evaluate(S_ONLY, &mut r));
+        assert!(!SelectionExpr::STARVATION.evaluate(MissFlags::NONE, &mut r));
+    }
+
+    #[test]
+    fn conjunction_requires_all_terms() {
+        let mut r = rng();
+        assert!(SelectionExpr::STARVATION_EMPTY_IQ.evaluate(BOTH, &mut r));
+        assert!(!SelectionExpr::STARVATION_EMPTY_IQ.evaluate(S_ONLY, &mut r));
+    }
+
+    #[test]
+    fn random_filter_is_one_in_r() {
+        let mut r = rng();
+        let sel = SelectionExpr::PREFERRED;
+        let hits = (0..32_000).filter(|_| sel.evaluate(BOTH, &mut r)).count();
+        assert!((700..1300).contains(&hits), "hits = {hits}");
+        // With flags absent, never true and no randomness consumed.
+        let mut r1 = rng();
+        assert!(!sel.evaluate(MissFlags::NONE, &mut r1));
+        assert_eq!(r1, rng(), "short-circuit must not consume randomness");
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["1", "0", "S", "E", "S&E", "R(1/32)", "S&E&R(1/32)", "S&R(1/2)"] {
+            let e = SelectionExpr::parse(s).unwrap();
+            assert_eq!(e.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "X", "S&S", "R(2/3)", "R(1/0)", "R(1/x)", "S&"] {
+            assert!(SelectionExpr::parse(s).is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn merge_accumulates_flags() {
+        let mut f = MissFlags::NONE;
+        f.merge(S_ONLY);
+        assert!(f.starved_decode && !f.empty_issue_queue);
+        f.merge(BOTH);
+        assert!(f.empty_issue_queue);
+    }
+
+    #[test]
+    fn uses_starvation_detection() {
+        assert!(SelectionExpr::PREFERRED.uses_starvation());
+        assert!(!SelectionExpr::Always.uses_starvation());
+        assert!(!SelectionExpr::random(32).uses_starvation());
+    }
+}

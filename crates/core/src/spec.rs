@@ -1,0 +1,365 @@
+//! Policy notation (paper Table 3): parsing, display, and construction.
+//!
+//! Every policy evaluated in the paper is one of:
+//!
+//! * `M:<sel>` — an insertion treatment over the recency base (`M:1` is
+//!   classic LRU/TPLRU and the baseline; `M:0` is LIP; `M:R(1/32)` is BIP;
+//!   `M:S&E` and `M:S&E&R(1/32)` are the starvation-gated insertion
+//!   policies of Figure 1/7);
+//! * `P(N):<sel>` — an EMISSARY treatment (`P(8):S&E&R(1/32)` is the
+//!   paper's preferred configuration);
+//! * a named prior-work policy: `SRRIP`, `BRRIP`, `DRRIP`, `PDP`, `DCLIP`.
+
+use std::str::FromStr;
+
+use emissary_cache::policy::{InsertionPolicy, PolicyKind, RecencyBase, ReplacementPolicy};
+
+use crate::dual::RecencyFlavor;
+use crate::emissary::EmissaryPolicy;
+use crate::selection::SelectionExpr;
+
+/// A parsed cache replacement policy specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// `M:<sel>` insertion treatment (Table 2's `M`).
+    MruInsert(SelectionExpr),
+    /// `P(N):<sel>` EMISSARY treatment (Table 2's `P(N)`).
+    Protect {
+        /// Maximum protected high-priority lines per set.
+        n: usize,
+        /// Mode-selection equation.
+        selection: SelectionExpr,
+    },
+    /// `P(N):<sel>+BYPASS` — the §2 rejected variant where low-priority
+    /// fills bypass a saturated set ("not found to be effective").
+    ProtectBypass {
+        /// Maximum protected high-priority lines per set.
+        n: usize,
+        /// Mode-selection equation.
+        selection: SelectionExpr,
+    },
+    /// `P(N):<sel>+GHRP` — §7.2's suggested combination of EMISSARY with
+    /// GHRP dead-block prediction inside the low-priority class.
+    ProtectGhrp {
+        /// Maximum protected high-priority lines per set.
+        n: usize,
+        /// Mode-selection equation.
+        selection: SelectionExpr,
+    },
+    /// Static RRIP.
+    Srrip,
+    /// Bimodal RRIP (1/32).
+    Brrip,
+    /// Dynamic RRIP.
+    Drrip,
+    /// Static protecting-distance policy.
+    Pdp,
+    /// Dynamic code line preservation.
+    Dclip,
+    /// GHRP-style dead-block predicting policy (§7.2 related work).
+    Ghrp,
+    /// MLP-aware LIN approximation (§7.1 related work).
+    Lin,
+    /// LACS approximation (§7.1 related work).
+    Lacs,
+}
+
+impl PolicySpec {
+    /// The baseline policy, `M:1` (classic LRU/TPLRU).
+    pub const BASELINE: PolicySpec = PolicySpec::MruInsert(SelectionExpr::Always);
+
+    /// LIP (`M:0`).
+    pub const LIP: PolicySpec = PolicySpec::MruInsert(SelectionExpr::Never);
+
+    /// The paper's preferred EMISSARY configuration, `P(8):S&E&R(1/32)`.
+    pub const PREFERRED: PolicySpec = PolicySpec::Protect {
+        n: 8,
+        selection: SelectionExpr::PREFERRED,
+    };
+
+    /// BIP with ratio `1/r` (`M:R(1/r)`).
+    pub fn bip(r: u32) -> PolicySpec {
+        PolicySpec::MruInsert(SelectionExpr::random(r))
+    }
+
+    /// An EMISSARY `P(n):<sel>` spec.
+    pub fn emissary(n: usize, selection: SelectionExpr) -> PolicySpec {
+        PolicySpec::Protect { n, selection }
+    }
+
+    /// True for `P(N):` treatments (the policies this paper contributes,
+    /// including the bypass and GHRP variants).
+    pub fn is_emissary(&self) -> bool {
+        matches!(
+            self,
+            PolicySpec::Protect { .. }
+                | PolicySpec::ProtectBypass { .. }
+                | PolicySpec::ProtectGhrp { .. }
+        )
+    }
+
+    /// The mode-selection equation, if the policy uses one.
+    pub fn selection(&self) -> Option<SelectionExpr> {
+        match self {
+            PolicySpec::MruInsert(sel) => Some(*sel),
+            PolicySpec::Protect { selection, .. }
+            | PolicySpec::ProtectBypass { selection, .. }
+            | PolicySpec::ProtectGhrp { selection, .. } => Some(*selection),
+            _ => None,
+        }
+    }
+
+    /// Whether the simulator must plumb decode-starvation signals for this
+    /// policy.
+    pub fn uses_starvation(&self) -> bool {
+        self.selection().is_some_and(|s| s.uses_starvation())
+    }
+
+    /// Builds the L2 policy with the evaluation default (TPLRU recency).
+    pub fn build_l2_policy(&self, sets: usize, ways: usize, seed: u64) -> Box<dyn ReplacementPolicy> {
+        self.build_l2_policy_with(RecencyFlavor::TreePlru, sets, ways, seed)
+    }
+
+    /// Builds the L2 policy over the chosen recency flavor (Figure 1 uses
+    /// [`RecencyFlavor::TrueLru`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an EMISSARY spec has `n >= ways` (see
+    /// [`EmissaryPolicy::new`]).
+    pub fn build_l2_policy_with(
+        &self,
+        flavor: RecencyFlavor,
+        sets: usize,
+        ways: usize,
+        seed: u64,
+    ) -> Box<dyn ReplacementPolicy> {
+        let plain = |sets, ways, seed| match flavor {
+            RecencyFlavor::TrueLru => PolicyKind::TrueLru.build(sets, ways, seed),
+            RecencyFlavor::TreePlru => PolicyKind::TreePlru.build(sets, ways, seed),
+        };
+        let base = match flavor {
+            RecencyFlavor::TrueLru => RecencyBase::TrueLru,
+            RecencyFlavor::TreePlru => RecencyBase::TreePlru,
+        };
+        match *self {
+            // M:1 degenerates to the plain recency policy (every line MRU).
+            PolicySpec::MruInsert(SelectionExpr::Always) => plain(sets, ways, seed),
+            PolicySpec::MruInsert(_) => Box::new(InsertionPolicy::new(base, sets, ways)),
+            // "An N of 0 is equivalent to the baseline" (§5.5).
+            PolicySpec::Protect { n: 0, .. }
+            | PolicySpec::ProtectBypass { n: 0, .. }
+            | PolicySpec::ProtectGhrp { n: 0, .. } => plain(sets, ways, seed),
+            PolicySpec::Protect { n, .. } => Box::new(EmissaryPolicy::new(
+                n,
+                flavor,
+                sets,
+                ways,
+                self.to_string(),
+            )),
+            PolicySpec::ProtectBypass { n, .. } => Box::new(
+                EmissaryPolicy::new(n, flavor, sets, ways, self.to_string()).with_bypass(),
+            ),
+            PolicySpec::ProtectGhrp { n, .. } => Box::new(
+                crate::ghrp::EmissaryGhrpPolicy::new(n, flavor, sets, ways, self.to_string()),
+            ),
+            PolicySpec::Srrip => PolicyKind::Srrip.build(sets, ways, seed),
+            PolicySpec::Brrip => PolicyKind::Brrip.build(sets, ways, seed),
+            PolicySpec::Drrip => PolicyKind::Drrip.build(sets, ways, seed),
+            PolicySpec::Pdp => PolicyKind::Pdp.build(sets, ways, seed),
+            PolicySpec::Dclip => PolicyKind::Dclip.build(sets, ways, seed),
+            PolicySpec::Ghrp => Box::new(crate::ghrp::GhrpPolicy::new(sets, ways)),
+            PolicySpec::Lin => PolicyKind::Lin.build(sets, ways, seed),
+            PolicySpec::Lacs => PolicyKind::Lacs.build(sets, ways, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicySpec::MruInsert(sel) => write!(f, "M:{sel}"),
+            PolicySpec::Protect { n, selection } => write!(f, "P({n}):{selection}"),
+            PolicySpec::ProtectBypass { n, selection } => {
+                write!(f, "P({n}):{selection}+BYPASS")
+            }
+            PolicySpec::ProtectGhrp { n, selection } => write!(f, "P({n}):{selection}+GHRP"),
+            PolicySpec::Srrip => f.write_str("SRRIP"),
+            PolicySpec::Brrip => f.write_str("BRRIP"),
+            PolicySpec::Drrip => f.write_str("DRRIP"),
+            PolicySpec::Pdp => f.write_str("PDP"),
+            PolicySpec::Dclip => f.write_str("DCLIP"),
+            PolicySpec::Ghrp => f.write_str("GHRP"),
+            PolicySpec::Lin => f.write_str("LIN"),
+            PolicySpec::Lacs => f.write_str("LACS"),
+        }
+    }
+}
+
+/// Error parsing a [`PolicySpec`] from its notation string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    message: String,
+}
+
+impl std::fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid policy notation: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for PolicySpec {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |m: String| ParsePolicyError { message: m };
+        let s = s.trim();
+        match s.to_ascii_uppercase().as_str() {
+            "SRRIP" => return Ok(PolicySpec::Srrip),
+            "BRRIP" => return Ok(PolicySpec::Brrip),
+            "DRRIP" => return Ok(PolicySpec::Drrip),
+            "PDP" => return Ok(PolicySpec::Pdp),
+            "DCLIP" => return Ok(PolicySpec::Dclip),
+            "GHRP" => return Ok(PolicySpec::Ghrp),
+            "LIN" => return Ok(PolicySpec::Lin),
+            "LACS" => return Ok(PolicySpec::Lacs),
+            "LRU" | "TPLRU" => return Ok(PolicySpec::BASELINE),
+            "LIP" => return Ok(PolicySpec::LIP),
+            _ => {}
+        }
+        if let Some(sel) = s.strip_prefix("M:") {
+            let sel = SelectionExpr::parse(sel).map_err(err)?;
+            return Ok(PolicySpec::MruInsert(sel));
+        }
+        if let Some(rest) = s.strip_prefix("P(") {
+            let (n_str, sel_str) = rest
+                .split_once("):")
+                .ok_or_else(|| err(format!("expected P(N):<sel>, got {s:?}")))?;
+            let n: usize = n_str
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad protection count {n_str:?}")))?;
+            if let Some(sel_str) = sel_str.strip_suffix("+GHRP") {
+                let selection = SelectionExpr::parse(sel_str).map_err(err)?;
+                return Ok(PolicySpec::ProtectGhrp { n, selection });
+            }
+            if let Some(sel_str) = sel_str.strip_suffix("+BYPASS") {
+                let selection = SelectionExpr::parse(sel_str).map_err(err)?;
+                return Ok(PolicySpec::ProtectBypass { n, selection });
+            }
+            let selection = SelectionExpr::parse(sel_str).map_err(err)?;
+            return Ok(PolicySpec::Protect { n, selection });
+        }
+        Err(err(format!("unrecognized policy {s:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_notations_roundtrip() {
+        for s in [
+            "M:1",
+            "M:0",
+            "M:R(1/32)",
+            "M:S&E",
+            "M:S&E&R(1/32)",
+            "P(8):R(1/32)",
+            "P(8):S",
+            "P(8):S&E",
+            "P(8):S&E&R(1/32)",
+            "P(14):S&E&R(1/64)",
+            "SRRIP",
+            "BRRIP",
+            "DRRIP",
+            "PDP",
+            "DCLIP",
+            "GHRP",
+            "LIN",
+            "LACS",
+            "P(8):S&E&R(1/32)+GHRP",
+            "P(8):S&E+BYPASS",
+        ] {
+            let spec: PolicySpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(spec.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!("LRU".parse::<PolicySpec>().unwrap(), PolicySpec::BASELINE);
+        assert_eq!("lip".parse::<PolicySpec>().unwrap(), PolicySpec::LIP);
+        assert_eq!("drrip".parse::<PolicySpec>().unwrap(), PolicySpec::Drrip);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in ["", "P(8)", "P(8):", "P(x):S", "M:", "Q:1", "P(8)S&E"] {
+            assert!(s.parse::<PolicySpec>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(PolicySpec::PREFERRED.is_emissary());
+        assert!(!PolicySpec::BASELINE.is_emissary());
+        assert!(PolicySpec::PREFERRED.uses_starvation());
+        assert!(!PolicySpec::bip(32).uses_starvation());
+        assert_eq!(PolicySpec::Drrip.selection(), None);
+    }
+
+    #[test]
+    fn baseline_builds_plain_recency() {
+        let p = PolicySpec::BASELINE.build_l2_policy(64, 16, 1);
+        assert_eq!(p.name(), "tplru");
+        let p = PolicySpec::BASELINE.build_l2_policy_with(RecencyFlavor::TrueLru, 64, 16, 1);
+        assert_eq!(p.name(), "lru");
+    }
+
+    #[test]
+    fn protect_zero_builds_baseline() {
+        let spec = PolicySpec::emissary(0, SelectionExpr::PREFERRED);
+        let p = spec.build_l2_policy(64, 16, 1);
+        assert_eq!(p.name(), "tplru");
+    }
+
+    #[test]
+    fn emissary_build_carries_notation() {
+        let p = PolicySpec::PREFERRED.build_l2_policy(64, 16, 1);
+        assert_eq!(p.name(), "P(8):S&E&R(1/32)");
+    }
+
+    #[test]
+    fn named_policies_build() {
+        for (spec, name) in [
+            (PolicySpec::Srrip, "srrip"),
+            (PolicySpec::Brrip, "brrip"),
+            (PolicySpec::Drrip, "drrip"),
+            (PolicySpec::Pdp, "pdp"),
+            (PolicySpec::Dclip, "dclip"),
+            (PolicySpec::Ghrp, "ghrp"),
+            (PolicySpec::Lin, "lin"),
+            (PolicySpec::Lacs, "lacs"),
+        ] {
+            assert_eq!(spec.build_l2_policy(64, 16, 1).name(), name);
+        }
+    }
+
+    #[test]
+    fn emissary_variants_build_and_classify() {
+        let ghrp: PolicySpec = "P(8):S&E+GHRP".parse().unwrap();
+        assert!(ghrp.is_emissary());
+        assert!(ghrp.uses_starvation());
+        assert_eq!(ghrp.build_l2_policy(64, 16, 1).name(), "P(8):S&E+GHRP");
+        let byp: PolicySpec = "P(8):S&E&R(1/32)+BYPASS".parse().unwrap();
+        assert!(byp.is_emissary());
+        assert_eq!(
+            byp.build_l2_policy(64, 16, 1).name(),
+            "P(8):S&E&R(1/32)+BYPASS"
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! McPAT-lite energy model for the EMISSARY reproduction (§5.9).
+//!
+//! The paper models energy with McPAT and reports that "energy savings are
+//! strongly correlated with the speedups achieved because of the relatively
+//! small amount of hardware added" (EMISSARY adds two bits per cache line).
+//! That correlation is exactly what an event-based model reproduces: total
+//! energy is per-event dynamic energy plus leakage proportional to runtime,
+//! so a policy that shortens execution saves leakage and a policy that
+//! removes DRAM traffic saves dynamic energy.
+//!
+//! Per-event energies are rough 22 nm-class figures (documented on
+//! [`EnergyParams`]); absolute joules are not meaningful for comparison to
+//! the paper, but relative reductions between policies are.
+//!
+//! # Example
+//!
+//! ```
+//! use emissary_energy::{ActivityCounts, EnergyParams};
+//!
+//! let mut base = ActivityCounts::default();
+//! base.cycles = 2_000_000;
+//! base.committed_instrs = 1_000_000;
+//! let mut faster = base;
+//! faster.cycles = 1_800_000;
+//! let params = EnergyParams::default();
+//! let e0 = params.estimate(&base).total();
+//! let e1 = params.estimate(&faster).total();
+//! assert!(e1 < e0, "shorter runtime must save energy");
+//! ```
+
+/// Activity counters the simulator exports for energy estimation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounts {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed_instrs: u64,
+    /// Instructions decoded (includes wrong-path-free decode work).
+    pub decoded_instrs: u64,
+    /// Instructions issued to execution.
+    pub issued_instrs: u64,
+    /// L1I accesses (demand + prefetch).
+    pub l1i_accesses: u64,
+    /// L1D accesses.
+    pub l1d_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L3 accesses.
+    pub l3_accesses: u64,
+    /// Main-memory reads + writes.
+    pub dram_accesses: u64,
+    /// Branch-predictor + BTB lookups (one per predicted block).
+    pub frontend_lookups: u64,
+}
+
+/// Per-event energies (picojoules) and leakage (picojoules per cycle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Decode/rename/ROB energy per decoded instruction.
+    pub decode_pj: f64,
+    /// Scheduling + execution energy per issued instruction.
+    pub issue_pj: f64,
+    /// Commit energy per committed instruction.
+    pub commit_pj: f64,
+    /// Energy per L1 (I or D) access.
+    pub l1_pj: f64,
+    /// Energy per L2 access.
+    pub l2_pj: f64,
+    /// Energy per L3 access.
+    pub l3_pj: f64,
+    /// Energy per DRAM access.
+    pub dram_pj: f64,
+    /// Energy per branch-predictor/BTB lookup.
+    pub frontend_pj: f64,
+    /// Whole-core + cache leakage per cycle.
+    pub static_pj_per_cycle: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            decode_pj: 25.0,
+            issue_pj: 20.0,
+            commit_pj: 10.0,
+            l1_pj: 10.0,
+            l2_pj: 35.0,
+            l3_pj: 70.0,
+            dram_pj: 15_000.0,
+            frontend_pj: 6.0,
+            static_pj_per_cycle: 900.0,
+        }
+    }
+}
+
+/// Energy broken down by component, in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Pipeline dynamic energy (decode + issue + commit).
+    pub core_pj: f64,
+    /// L1I + L1D dynamic energy.
+    pub l1_pj: f64,
+    /// L2 dynamic energy.
+    pub l2_pj: f64,
+    /// L3 dynamic energy.
+    pub l3_pj: f64,
+    /// DRAM dynamic energy.
+    pub dram_pj: f64,
+    /// Branch predictor + BTB dynamic energy.
+    pub frontend_pj: f64,
+    /// Leakage over the whole run.
+    pub static_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total(&self) -> f64 {
+        self.core_pj
+            + self.l1_pj
+            + self.l2_pj
+            + self.l3_pj
+            + self.dram_pj
+            + self.frontend_pj
+            + self.static_pj
+    }
+
+    /// Total energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.total() * 1e-12
+    }
+}
+
+impl EnergyParams {
+    /// Estimates energy for one run's activity.
+    pub fn estimate(&self, c: &ActivityCounts) -> EnergyBreakdown {
+        EnergyBreakdown {
+            core_pj: c.decoded_instrs as f64 * self.decode_pj
+                + c.issued_instrs as f64 * self.issue_pj
+                + c.committed_instrs as f64 * self.commit_pj,
+            l1_pj: (c.l1i_accesses + c.l1d_accesses) as f64 * self.l1_pj,
+            l2_pj: c.l2_accesses as f64 * self.l2_pj,
+            l3_pj: c.l3_accesses as f64 * self.l3_pj,
+            dram_pj: c.dram_accesses as f64 * self.dram_pj,
+            frontend_pj: c.frontend_lookups as f64 * self.frontend_pj,
+            static_pj: c.cycles as f64 * self.static_pj_per_cycle,
+        }
+    }
+
+    /// Percentage energy reduction of `policy` vs `baseline` (positive =
+    /// policy saves energy).
+    pub fn reduction_pct(&self, baseline: &ActivityCounts, policy: &ActivityCounts) -> f64 {
+        let e0 = self.estimate(baseline).total();
+        let e1 = self.estimate(policy).total();
+        if e0 == 0.0 {
+            0.0
+        } else {
+            (e0 - e1) / e0 * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> ActivityCounts {
+        ActivityCounts {
+            cycles: 1_000_000,
+            committed_instrs: 800_000,
+            decoded_instrs: 900_000,
+            issued_instrs: 850_000,
+            l1i_accesses: 200_000,
+            l1d_accesses: 250_000,
+            l2_accesses: 30_000,
+            l3_accesses: 8_000,
+            dram_accesses: 2_000,
+            frontend_lookups: 120_000,
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let p = EnergyParams::default();
+        let b = p.estimate(&counts());
+        let manual = b.core_pj + b.l1_pj + b.l2_pj + b.l3_pj + b.dram_pj + b.frontend_pj + b.static_pj;
+        assert!((b.total() - manual).abs() < 1e-6);
+        assert!(b.total() > 0.0);
+        assert!((b.total_joules() - b.total() * 1e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fewer_cycles_saves_static_energy() {
+        let p = EnergyParams::default();
+        let slow = counts();
+        let mut fast = counts();
+        fast.cycles -= 100_000;
+        assert!(p.reduction_pct(&slow, &fast) > 0.0);
+    }
+
+    #[test]
+    fn fewer_dram_accesses_saves_dynamic_energy() {
+        let p = EnergyParams::default();
+        let noisy = counts();
+        let mut quiet = counts();
+        quiet.dram_accesses = 0;
+        assert!(p.reduction_pct(&noisy, &quiet) > 0.0);
+    }
+
+    #[test]
+    fn identical_runs_have_zero_reduction() {
+        let p = EnergyParams::default();
+        assert_eq!(p.reduction_pct(&counts(), &counts()), 0.0);
+    }
+
+    #[test]
+    fn zero_baseline_is_guarded() {
+        let p = EnergyParams::default();
+        let zero = ActivityCounts::default();
+        assert_eq!(p.reduction_pct(&zero, &counts()), 0.0);
+    }
+
+    #[test]
+    fn energy_reduction_tracks_speedup_direction() {
+        // The §5.9 correlation: a 5% faster run with otherwise identical
+        // activity must show an energy reduction between 0 and 5%.
+        let p = EnergyParams::default();
+        let base = counts();
+        let mut fast = counts();
+        fast.cycles = (base.cycles as f64 * 0.95) as u64;
+        let red = p.reduction_pct(&base, &fast);
+        assert!(red > 0.0 && red < 5.0, "reduction = {red}");
+    }
+}

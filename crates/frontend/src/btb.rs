@@ -1,0 +1,241 @@
+//! Basic-block-oriented Branch Target Buffer (§5.2).
+//!
+//! "Each entry corresponds to a basic block. In addition to the target,
+//! entries contain details pertaining to the basic block — starting address,
+//! size, and the type of control-flow instruction that ends the basic
+//! block. The BTB \[is\] indexed based on … the basic block's starting
+//! address."
+
+/// The control-flow instruction class terminating a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchClass {
+    /// Conditional direct branch (needs a direction prediction).
+    CondDirect,
+    /// Unconditional direct jump.
+    Jump,
+    /// Direct call (pushes the return address).
+    Call,
+    /// Indirect jump (needs a target prediction).
+    IndirectJump,
+    /// Indirect call.
+    IndirectCall,
+    /// Function return (target predicted by the RAS).
+    Return,
+    /// The block ends by falling through (e.g. max-size block split).
+    FallThrough,
+}
+
+impl BranchClass {
+    /// Whether the terminator's taken-target comes from the BTB entry.
+    pub fn has_static_target(self) -> bool {
+        matches!(
+            self,
+            BranchClass::CondDirect | BranchClass::Jump | BranchClass::Call
+        )
+    }
+
+    /// Whether this class needs the indirect target predictor.
+    pub fn is_indirect(self) -> bool {
+        matches!(self, BranchClass::IndirectJump | BranchClass::IndirectCall)
+    }
+
+    /// Whether this class is any kind of call.
+    pub fn is_call(self) -> bool {
+        matches!(self, BranchClass::Call | BranchClass::IndirectCall)
+    }
+}
+
+/// One BTB entry (a dynamic basic block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbEntry {
+    /// Starting byte address of the block.
+    pub start: u64,
+    /// Number of (fixed 4-byte) instructions in the block.
+    pub num_instrs: u32,
+    /// Class of the terminating control-flow instruction.
+    pub kind: BranchClass,
+    /// Taken target for direct terminators; last-seen target for indirect
+    /// ones (ITTAGE refines it); ignored for returns/fall-throughs.
+    pub target: u64,
+}
+
+/// Set-associative BTB indexed by block start address.
+#[derive(Debug)]
+pub struct Btb {
+    sets: usize,
+    ways: usize,
+    /// `None` = invalid way.
+    entries: Vec<Option<BtbEntry>>,
+    /// LRU stamps parallel to `entries`.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `total_entries` entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `total_entries` is divisible into a power-of-two
+    /// number of sets.
+    pub fn new(total_entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && total_entries.is_multiple_of(ways));
+        let sets = total_entries / ways;
+        assert!(sets.is_power_of_two(), "BTB sets must be a power of two");
+        Self {
+            sets,
+            ways,
+            entries: vec![None; total_entries],
+            stamps: vec![0; total_entries],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The paper's configuration: 16K entries, 8-way.
+    pub fn paper_default() -> Self {
+        Self::new(16 * 1024, 8)
+    }
+
+    #[inline]
+    fn set_of(&self, start: u64) -> usize {
+        // Instructions are 4 bytes; drop the offset bits before indexing.
+        ((start >> 2) as usize) & (self.sets - 1)
+    }
+
+    /// Looks up the block starting at `start`, updating recency and stats.
+    pub fn lookup(&mut self, start: u64) -> Option<BtbEntry> {
+        let set = self.set_of(start);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if let Some(e) = self.entries[base + w] {
+                if e.start == start {
+                    self.clock += 1;
+                    self.stamps[base + w] = self.clock;
+                    self.hits += 1;
+                    return Some(e);
+                }
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Side-effect-free residency check.
+    pub fn contains(&self, start: u64) -> bool {
+        let set = self.set_of(start);
+        let base = set * self.ways;
+        (0..self.ways).any(|w| self.entries[base + w].is_some_and(|e| e.start == start))
+    }
+
+    /// Inserts or updates an entry (pre-decoder repair path). Evicts the
+    /// LRU way when the set is full.
+    pub fn insert(&mut self, entry: BtbEntry) {
+        let set = self.set_of(entry.start);
+        let base = set * self.ways;
+        // Update in place if present.
+        for w in 0..self.ways {
+            if self.entries[base + w].is_some_and(|e| e.start == entry.start) {
+                self.entries[base + w] = Some(entry);
+                return;
+            }
+        }
+        // Invalid way first, else LRU.
+        let way = (0..self.ways)
+            .find(|&w| self.entries[base + w].is_none())
+            .unwrap_or_else(|| {
+                (0..self.ways)
+                    .min_by_key(|&w| self.stamps[base + w])
+                    .expect("ways > 0")
+            });
+        self.clock += 1;
+        self.entries[base + way] = Some(entry);
+        self.stamps[base + way] = self.clock;
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Resets counters (warmup boundary); contents are preserved.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(start: u64) -> BtbEntry {
+        BtbEntry {
+            start,
+            num_instrs: 4,
+            kind: BranchClass::Jump,
+            target: start + 64,
+        }
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut b = Btb::new(64, 4);
+        assert_eq!(b.lookup(0x1000), None);
+        b.insert(block(0x1000));
+        assert_eq!(b.lookup(0x1000).unwrap().target, 0x1000 + 64);
+        assert_eq!(b.stats(), (1, 1));
+    }
+
+    #[test]
+    fn update_in_place_changes_payload() {
+        let mut b = Btb::new(64, 4);
+        b.insert(block(0x1000));
+        let mut e = block(0x1000);
+        e.num_instrs = 9;
+        b.insert(e);
+        assert_eq!(b.lookup(0x1000).unwrap().num_instrs, 9);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut b = Btb::new(8, 2); // 4 sets, 2 ways
+        // These all map to set 0: start addresses differing by sets*4 bytes.
+        let stride = 4 * 4; // sets=4, instr=4B
+        b.insert(block(0));
+        b.insert(block(stride));
+        b.lookup(0); // refresh 0
+        b.insert(block(2 * stride)); // evicts `stride`
+        assert!(b.contains(0));
+        assert!(!b.contains(stride));
+        assert!(b.contains(2 * stride));
+    }
+
+    #[test]
+    fn paper_default_capacity() {
+        let b = Btb::paper_default();
+        assert_eq!(b.sets * b.ways, 16 * 1024);
+    }
+
+    #[test]
+    fn branch_class_predicates() {
+        assert!(BranchClass::Call.has_static_target());
+        assert!(BranchClass::Call.is_call());
+        assert!(BranchClass::IndirectJump.is_indirect());
+        assert!(!BranchClass::Return.has_static_target());
+        assert!(!BranchClass::FallThrough.is_indirect());
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut b = Btb::new(64, 4);
+        b.insert(block(0x40));
+        b.lookup(0x40);
+        b.reset_stats();
+        assert_eq!(b.stats(), (0, 0));
+        assert!(b.contains(0x40));
+    }
+}

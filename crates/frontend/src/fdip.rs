@@ -1,0 +1,153 @@
+//! FDIP prefetch stream.
+//!
+//! Fetch-directed instruction prefetching issues cache-line requests for
+//! blocks as they enter the FTQ — far ahead of the fetch stage. The
+//! simulator drains this queue with a per-cycle bandwidth budget and routes
+//! each line to the L1I as a prefetch.
+//!
+//! A small recent-line filter suppresses duplicate requests for the common
+//! case of consecutive blocks sharing a line.
+
+use std::collections::VecDeque;
+
+/// Pending FDIP line prefetches with duplicate suppression.
+#[derive(Debug)]
+pub struct PrefetchQueue {
+    pending: VecDeque<u64>,
+    /// Ring of recently enqueued lines for cheap dedup.
+    recent: Vec<u64>,
+    recent_pos: usize,
+    capacity: usize,
+    enqueued: u64,
+    dropped: u64,
+}
+
+impl PrefetchQueue {
+    /// Creates a queue holding at most `capacity` outstanding lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            pending: VecDeque::with_capacity(capacity),
+            recent: vec![u64::MAX; 32],
+            recent_pos: 0,
+            capacity,
+            enqueued: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Enqueues the cache lines covering `[start, start + num_instrs * 4)`.
+    ///
+    /// Lines already seen recently are suppressed; lines beyond capacity
+    /// are dropped (counted in [`PrefetchQueue::dropped`]).
+    pub fn enqueue_block(&mut self, start: u64, num_instrs: u32) {
+        let first = start >> 6;
+        let last = (start + u64::from(num_instrs.max(1)) * 4 - 1) >> 6;
+        for line in first..=last {
+            self.enqueue_line(line);
+        }
+    }
+
+    /// Enqueues a single line address.
+    pub fn enqueue_line(&mut self, line: u64) {
+        if self.recent.contains(&line) {
+            return;
+        }
+        self.recent[self.recent_pos] = line;
+        self.recent_pos = (self.recent_pos + 1) % self.recent.len();
+        if self.pending.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.pending.push_back(line);
+        self.enqueued += 1;
+    }
+
+    /// Takes up to `budget` lines to issue this cycle.
+    pub fn drain(&mut self, budget: usize) -> impl Iterator<Item = u64> + '_ {
+        let n = budget.min(self.pending.len());
+        self.pending.drain(..n)
+    }
+
+    /// Drops all pending prefetches (re-steer flush).
+    pub fn flush(&mut self) {
+        self.pending.clear();
+        self.recent.fill(u64::MAX);
+    }
+
+    /// Outstanding lines.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total lines accepted.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Lines dropped for capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_spanning_two_lines_enqueues_both() {
+        let mut q = PrefetchQueue::new(16);
+        // Start 8 instructions before a line boundary, 16 instructions long.
+        q.enqueue_block(64 - 32, 16);
+        let lines: Vec<u64> = q.drain(10).collect();
+        assert_eq!(lines, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_lines_suppressed() {
+        let mut q = PrefetchQueue::new(16);
+        q.enqueue_block(0, 4);
+        q.enqueue_block(16, 4); // same line 0
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn budget_limits_drain() {
+        let mut q = PrefetchQueue::new(16);
+        for l in 0..5 {
+            q.enqueue_line(l * 100);
+        }
+        assert_eq!(q.drain(2).count(), 2);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn capacity_drops_excess() {
+        let mut q = PrefetchQueue::new(2);
+        for l in 0..5 {
+            q.enqueue_line(l * 1000);
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped(), 3);
+    }
+
+    #[test]
+    fn flush_clears_pending_and_filter() {
+        let mut q = PrefetchQueue::new(8);
+        q.enqueue_line(7);
+        q.flush();
+        assert!(q.is_empty());
+        q.enqueue_line(7); // filter cleared: accepted again
+        assert_eq!(q.len(), 1);
+    }
+}

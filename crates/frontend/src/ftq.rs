@@ -1,0 +1,177 @@
+//! Fetch Target Queue (§5.2).
+//!
+//! "This work includes an FTQ size of 24 entries with a 192-instruction
+//! buffer" — the FTQ is bounded both in entries and in total instructions,
+//! which is what lets the front-end run ahead far enough to hide L2-hit
+//! latency but not far enough to hide main memory.
+//!
+//! The payload type `T` carries simulator-side bookkeeping (ground-truth
+//! block ids, misprediction flags) without this crate depending on it.
+
+use std::collections::VecDeque;
+
+/// One FTQ entry: a basic block scheduled for fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FtqEntry<T> {
+    /// Starting byte address of the block.
+    pub start: u64,
+    /// Number of instructions in the block.
+    pub num_instrs: u32,
+    /// Simulator payload.
+    pub payload: T,
+}
+
+/// The bounded fetch target queue.
+#[derive(Debug)]
+pub struct Ftq<T> {
+    entries: VecDeque<FtqEntry<T>>,
+    max_entries: usize,
+    max_instrs: u32,
+    cur_instrs: u32,
+}
+
+impl<T> Ftq<T> {
+    /// Creates an FTQ bounded by `max_entries` blocks and `max_instrs`
+    /// total buffered instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is zero.
+    pub fn new(max_entries: usize, max_instrs: u32) -> Self {
+        assert!(max_entries > 0 && max_instrs > 0);
+        Self {
+            entries: VecDeque::with_capacity(max_entries),
+            max_entries,
+            max_instrs,
+            cur_instrs: 0,
+        }
+    }
+
+    /// The paper's configuration: 24 entries, 192 instructions.
+    pub fn paper_default() -> Self {
+        Self::new(24, 192)
+    }
+
+    /// Whether `num_instrs` more instructions fit.
+    pub fn can_push(&self, num_instrs: u32) -> bool {
+        self.entries.len() < self.max_entries
+            && self.cur_instrs + num_instrs <= self.max_instrs
+    }
+
+    /// Enqueues a block; returns it back if the FTQ is full.
+    pub fn push(&mut self, entry: FtqEntry<T>) -> Result<(), FtqEntry<T>> {
+        if !self.can_push(entry.num_instrs) {
+            return Err(entry);
+        }
+        self.cur_instrs += entry.num_instrs;
+        self.entries.push_back(entry);
+        Ok(())
+    }
+
+    /// Dequeues the oldest block for fetch.
+    pub fn pop(&mut self) -> Option<FtqEntry<T>> {
+        let e = self.entries.pop_front()?;
+        self.cur_instrs -= e.num_instrs;
+        Some(e)
+    }
+
+    /// Peeks at the oldest block.
+    pub fn front(&self) -> Option<&FtqEntry<T>> {
+        self.entries.front()
+    }
+
+    /// Drops everything (branch re-steer: "Branch re-steers flush the FTQ").
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.cur_instrs = 0;
+    }
+
+    /// Number of queued blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no blocks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total buffered instructions.
+    pub fn instr_count(&self) -> u32 {
+        self.cur_instrs
+    }
+
+    /// Iterates over queued entries, oldest first (FDIP scans this).
+    pub fn iter(&self) -> impl Iterator<Item = &FtqEntry<T>> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(start: u64, n: u32) -> FtqEntry<()> {
+        FtqEntry {
+            start,
+            num_instrs: n,
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = Ftq::new(4, 100);
+        q.push(e(1, 5)).unwrap();
+        q.push(e(2, 5)).unwrap();
+        assert_eq!(q.pop().unwrap().start, 1);
+        assert_eq!(q.pop().unwrap().start, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn entry_bound_enforced() {
+        let mut q = Ftq::new(2, 100);
+        q.push(e(1, 1)).unwrap();
+        q.push(e(2, 1)).unwrap();
+        assert!(q.push(e(3, 1)).is_err());
+        q.pop();
+        assert!(q.push(e(3, 1)).is_ok());
+    }
+
+    #[test]
+    fn instruction_bound_enforced() {
+        let mut q = Ftq::new(100, 10);
+        q.push(e(1, 6)).unwrap();
+        assert!(!q.can_push(5));
+        assert!(q.push(e(2, 5)).is_err());
+        assert!(q.push(e(2, 4)).is_ok());
+        assert_eq!(q.instr_count(), 10);
+    }
+
+    #[test]
+    fn flush_resets_both_bounds() {
+        let mut q = Ftq::new(4, 10);
+        q.push(e(1, 10)).unwrap();
+        q.flush();
+        assert!(q.is_empty());
+        assert_eq!(q.instr_count(), 0);
+        assert!(q.can_push(10));
+    }
+
+    #[test]
+    fn paper_default_bounds() {
+        let q: Ftq<()> = Ftq::paper_default();
+        assert!(q.can_push(192));
+        assert!(!q.can_push(193));
+    }
+
+    #[test]
+    fn iter_is_oldest_first() {
+        let mut q = Ftq::new(4, 100);
+        q.push(e(10, 1)).unwrap();
+        q.push(e(20, 1)).unwrap();
+        let starts: Vec<u64> = q.iter().map(|x| x.start).collect();
+        assert_eq!(starts, vec![10, 20]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Decoupled fetch-engine substrate for the EMISSARY reproduction.
+//!
+//! Models the aggressive FDIP front-end of the paper's §5.2:
+//!
+//! * [`btb::Btb`] — a 16K-entry BTB whose entries describe *dynamic basic
+//!   blocks* (start address, size, terminating control-flow kind, target),
+//!   indexed by block start address.
+//! * [`tage::Tage`] — a TAGE-style conditional branch direction predictor.
+//! * [`ittage::Ittage`] — an ITTAGE-style indirect target predictor.
+//! * [`ras::ReturnAddressStack`] — return address prediction.
+//! * [`ftq::Ftq`] — the Fetch Target Queue (24 entries / 192 instructions)
+//!   decoupling prediction from fetch.
+//! * [`fdip::PrefetchQueue`] — FDIP's prefetch stream: cache-line requests
+//!   generated as blocks enter the FTQ, drained by the simulator with a
+//!   per-cycle bandwidth budget.
+//! * [`engine::FetchEngine`] — combines the above: one basic-block
+//!   prediction per cycle, BTB-miss enqueue stalls with pre-decode repair
+//!   and next-two-line prefetch, and misprediction detection against the
+//!   architectural (ground-truth) path.
+//!
+//! The crate is self-contained: the simulator supplies ground-truth block
+//! descriptors and consumes prediction outcomes; no cache or workload types
+//! appear in this API.
+
+pub mod btb;
+pub mod engine;
+pub mod fdip;
+pub mod ftq;
+pub mod ittage;
+pub mod ras;
+pub mod tage;
+
+pub use btb::{Btb, BtbEntry};
+pub use btb::BranchClass;
+pub use engine::{BlockDesc, FetchEngine, FrontendConfig, FrontendStats, Prediction};
+pub use fdip::PrefetchQueue;
+pub use ftq::{Ftq, FtqEntry};
+pub use ittage::Ittage;
+pub use ras::ReturnAddressStack;
+pub use tage::Tage;

@@ -1,0 +1,107 @@
+//! Return address stack (RAS).
+//!
+//! A fixed-depth circular stack. Overflow overwrites the oldest entry;
+//! underflow returns `None` (forcing a misprediction on the return, as in
+//! real hardware after deep recursion trashes the stack).
+
+/// Return address stack predictor.
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    slots: Vec<u64>,
+    /// Index of the next push position.
+    top: usize,
+    /// Number of live entries (<= capacity).
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be positive");
+        Self {
+            slots: vec![0; capacity],
+            top: 0,
+            depth: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current live depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Pushes a return address (a call was predicted).
+    pub fn push(&mut self, return_addr: u64) {
+        self.slots[self.top] = return_addr;
+        self.top = (self.top + 1) % self.slots.len();
+        self.depth = (self.depth + 1).min(self.slots.len());
+    }
+
+    /// Pops the predicted return target; `None` on underflow.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.depth -= 1;
+        Some(self.slots[self.top])
+    }
+
+    /// Empties the stack (e.g. on pipeline flush in simplified recovery).
+    pub fn clear(&mut self) {
+        self.depth = 0;
+        self.top = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_lifo_order() {
+        let mut r = ReturnAddressStack::new(8);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(7);
+        r.clear();
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Simulation configuration (paper Table 4's Alderlake-like model).
+
+use emissary_cache::config::HierarchyConfig;
+use emissary_cache::policy::PolicyKind;
+use emissary_core::dual::RecencyFlavor;
+use emissary_core::spec::PolicySpec;
+use emissary_frontend::FrontendConfig;
+
+/// Core pipeline parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Fetch width — blocks are fetched whole; this gates per-cycle flow.
+    pub fetch_width: u32,
+    /// Decode width (8, Table 4).
+    pub decode_width: u32,
+    /// Issue width (8).
+    pub issue_width: u32,
+    /// Commit width (8).
+    pub commit_width: u32,
+    /// Reorder buffer entries (512).
+    pub rob_entries: usize,
+    /// Issue queue entries (240).
+    pub iq_entries: usize,
+    /// Load queue entries (128).
+    pub lq_entries: usize,
+    /// Store queue entries (72).
+    pub sq_entries: usize,
+    /// FTQ entries (24).
+    pub ftq_entries: usize,
+    /// FTQ instruction budget (192).
+    pub ftq_instrs: u32,
+    /// Decode-queue capacity (instructions fetched but not yet decoded).
+    pub decode_queue: usize,
+    /// FDIP prefetches issued per cycle.
+    pub fdip_per_cycle: usize,
+    /// Front-end re-steer penalty after a mispredicted branch resolves.
+    pub resteer_penalty: u64,
+    /// ALU/branch execution latency.
+    pub alu_latency: u64,
+    /// How many instructions beyond the issue-queue head the scheduler
+    /// examines per cycle (models select logic reach).
+    pub scheduler_window: usize,
+    /// Wrong-path blocks fetched per cycle while a mispredict is unresolved.
+    pub wrong_path_blocks_per_cycle: usize,
+    /// Front-end predictor structures.
+    pub frontend: FrontendConfig,
+}
+
+impl CoreConfig {
+    /// Table 4's Alderlake-like configuration.
+    pub fn alderlake_like() -> Self {
+        Self {
+            fetch_width: 8,
+            decode_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            rob_entries: 512,
+            iq_entries: 240,
+            lq_entries: 128,
+            sq_entries: 72,
+            ftq_entries: 24,
+            ftq_instrs: 192,
+            decode_queue: 96,
+            fdip_per_cycle: 2,
+            resteer_penalty: 6,
+            alu_latency: 1,
+            scheduler_window: 64,
+            wrong_path_blocks_per_cycle: 1,
+            frontend: FrontendConfig::default(),
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::alderlake_like()
+    }
+}
+
+/// A complete simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Core pipeline parameters.
+    pub core: CoreConfig,
+    /// Cache hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+    /// Replacement policy for the L1 caches (TPLRU by default; Figure 1
+    /// uses true LRU).
+    pub l1_policy: PolicyKind,
+    /// The L2 policy under test.
+    pub l2_policy: PolicySpec,
+    /// Recency flavor for LRU-family L2 policies.
+    pub recency: RecencyFlavor,
+    /// Committed instructions of cache/predictor warmup before measuring.
+    pub warmup_instrs: u64,
+    /// Committed instructions in the measurement window.
+    pub measure_instrs: u64,
+    /// §6 priority-bit reset interval (committed instructions), if enabled.
+    pub priority_reset_interval: Option<u64>,
+    /// Model wrong-path fetch after mispredictions (pollution/prefetch).
+    pub wrong_path_fetch: bool,
+    /// Track reuse distances for Figure 2 metrics (small overhead).
+    pub track_reuse: bool,
+    /// Master seed for hardware RNG streams (selection `R`, policies).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            core: CoreConfig::default(),
+            hierarchy: HierarchyConfig::alderlake_like(),
+            l1_policy: PolicyKind::TreePlru,
+            l2_policy: PolicySpec::BASELINE,
+            recency: RecencyFlavor::TreePlru,
+            warmup_instrs: 200_000,
+            measure_instrs: 2_000_000,
+            priority_reset_interval: None,
+            wrong_path_fetch: true,
+            track_reuse: true,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Figure 1's environment: true LRU everywhere, no NLP prefetchers.
+    pub fn figure1() -> Self {
+        Self {
+            hierarchy: HierarchyConfig::figure1(),
+            l1_policy: PolicyKind::TrueLru,
+            recency: RecencyFlavor::TrueLru,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with the given L2 policy.
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        self.l2_policy = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values() {
+        let c = CoreConfig::alderlake_like();
+        assert_eq!(c.decode_width, 8);
+        assert_eq!(c.rob_entries, 512);
+        assert_eq!(c.iq_entries, 240);
+        assert_eq!(c.lq_entries, 128);
+        assert_eq!(c.sq_entries, 72);
+        assert_eq!(c.ftq_entries, 24);
+        assert_eq!(c.ftq_instrs, 192);
+    }
+
+    #[test]
+    fn figure1_uses_true_lru_and_no_nlp() {
+        let f = SimConfig::figure1();
+        assert_eq!(f.l1_policy, PolicyKind::TrueLru);
+        assert_eq!(f.recency, RecencyFlavor::TrueLru);
+        assert!(!f.hierarchy.l2_nlp);
+    }
+
+    #[test]
+    fn with_policy_builder() {
+        let cfg = SimConfig::default().with_policy(PolicySpec::PREFERRED);
+        assert_eq!(cfg.l2_policy, PolicySpec::PREFERRED);
+    }
+}

@@ -1,0 +1,943 @@
+//! The cycle-level machine: decoupled front-end + OoO back-end.
+//!
+//! One [`Machine::step`] models one cycle, processing stages in reverse
+//! pipeline order (commit → issue → decode/dispatch → fetch → wrong-path →
+//! FDIP → predict/enqueue → miss resolution) so data moves at most one
+//! stage per cycle.
+//!
+//! ## Misprediction model
+//!
+//! The front-end follows the architectural (true) path supplied by the
+//! workload walker. When the predictor would have mispredicted a block's
+//! terminator, the machine enters *wrong-path mode*: no further true-path
+//! blocks are enqueued, and a wrong-path fetcher walks the predicted path
+//! through the real CFG via BTB lookups, issuing real L1I/L2 accesses
+//! (pollution and accidental prefetching — §3's near-target mispredict
+//! effect). When the mispredicted branch executes, a re-steer penalty is
+//! paid and true-path prediction resumes. Because wrong-path instructions
+//! never enter decode, no ROB squash is needed; the cost materializes as
+//! the fetch bubble plus the drained run-ahead — exactly the mechanism the
+//! paper identifies as the source of decode starvation.
+//!
+//! ## Starvation and priority plumbing
+//!
+//! A cycle is a *decode starvation* when decode could make progress (ROB
+//! and IQ have room) but the decode-queue head instruction is not yet
+//! available; the cache line being waited on is blamed, and the
+//! issue-queue-empty signal is sampled. The accumulated flags for an
+//! in-flight line are evaluated against the policy's Table 1 selection
+//! equation once, when the miss resolves; the result drives both the `M:`
+//! insertion-resolution path and the EMISSARY `P` bit.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use emissary_cache::addr::line_of;
+use emissary_cache::hierarchy::{Hierarchy, ServedBy};
+use emissary_cache::rng::XorShift64;
+use emissary_core::reset::ResetSchedule;
+use emissary_core::selection::{MissFlags, SelectionExpr};
+use emissary_frontend::ftq::{Ftq, FtqEntry};
+use emissary_frontend::{BlockDesc, BranchClass, FetchEngine, PrefetchQueue};
+use emissary_stats::reuse::{ReuseBucket, ReuseTracker};
+use emissary_workloads::program::TermClass;
+use emissary_workloads::walker::{DynBlock, DynInstr, DynOp, Walker};
+
+use crate::config::SimConfig;
+use crate::report::ReuseAttribution;
+
+/// Completion-time ring size; must exceed ROB size + max dep distance.
+const COMP_RING: usize = 4096;
+/// Sentinel for "not yet completed".
+const PENDING: u64 = u64::MAX;
+
+/// Operation class of a ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Alu,
+    Load(u64),
+    Store(u64),
+    Branch,
+}
+
+#[derive(Debug)]
+struct RobEntry {
+    seq: u64,
+    op: OpClass,
+    dep1: u64,
+    dep2: u64,
+    issued: bool,
+    completed_at: u64,
+    /// Terminator of a mispredicted block: triggers the re-steer.
+    mispredict: bool,
+}
+
+/// An instruction sitting in the decode queue waiting for its line.
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    instr: DynInstr,
+    ready_at: u64,
+    line: u64,
+    mispredict: bool,
+    /// Reuse bucket of the line at demand-fetch time (Figure 2); cold
+    /// first touches classify as long reuse.
+    bucket: ReuseBucket,
+    /// Level that served (or is serving) the line.
+    source: ServedBy,
+}
+
+/// FTQ payload: the block's dynamic instructions plus prediction verdicts.
+#[derive(Debug)]
+struct BlockPayload {
+    instrs: Vec<DynInstr>,
+    mispredicted: bool,
+}
+
+/// Counters accumulated during the measurement window.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct WindowStats {
+    pub cycles: u64,
+    pub committed: u64,
+    pub decoded: u64,
+    pub issued: u64,
+    pub starvation_cycles: u64,
+    pub starvation_empty_iq_cycles: u64,
+    pub fe_stall_cycles: u64,
+    pub be_stall_cycles: u64,
+    pub branch_mispredicts: u64,
+    /// High-priority marks issued (selection accepted a starving miss).
+    pub priority_marks: u64,
+    pub reuse_attr: ReuseAttribution,
+    /// Starvation cycles split by the blamed line's serving level.
+    pub starve_by_source: [u64; 4],
+}
+
+/// The simulated machine. See module docs.
+pub struct Machine<'p> {
+    cfg: SimConfig,
+    pub(crate) hierarchy: Hierarchy,
+    pub(crate) engine: FetchEngine,
+    walker: Walker<'p>,
+    ftq: Ftq<BlockPayload>,
+    pfq: PrefetchQueue,
+    decode_queue: VecDeque<Fetched>,
+    rob: VecDeque<RobEntry>,
+    /// Seqs dispatched but not yet issued (the issue queue).
+    iq: VecDeque<u64>,
+    lq_count: usize,
+    sq_count: usize,
+    comp_time: Vec<u64>,
+    next_seq: u64,
+    now: u64,
+    /// Staged (already predicted) block waiting for FTQ room.
+    staged: Option<(DynBlock, Vec<DynInstr>, bool)>,
+    btb_stall_until: u64,
+    /// Wrong-path mode: an unresolved misprediction is in flight.
+    wp_active: bool,
+    wp_pc: u64,
+    resteer_done_at: Option<u64>,
+    /// Flags accumulated for in-flight instruction lines.
+    pending_flags: HashMap<u64, MissFlags>,
+    /// Instruction fills awaiting selection resolution: (ready, line).
+    pending_resolutions: BinaryHeap<Reverse<(u64, u64)>>,
+    selection: Option<SelectionExpr>,
+    mark_priority: bool,
+    sel_rng: XorShift64,
+    reset_schedule: Option<ResetSchedule>,
+    reuse: Option<ReuseTracker>,
+    pub(crate) stats: WindowStats,
+    total_committed: u64,
+}
+
+impl<'p> Machine<'p> {
+    /// Builds a machine for `walker`'s program under `cfg`.
+    pub fn new(walker: Walker<'p>, cfg: &SimConfig) -> Self {
+        let l2_policy = cfg.l2_policy.build_l2_policy_with(
+            cfg.recency,
+            cfg.hierarchy.l2.sets(),
+            cfg.hierarchy.l2.ways,
+            cfg.seed ^ 0x9999,
+        );
+        let hierarchy = Hierarchy::new(cfg.hierarchy.clone(), cfg.l1_policy, l2_policy);
+        let engine = FetchEngine::new(cfg.core.frontend.clone());
+        let ftq = Ftq::new(cfg.core.ftq_entries, cfg.core.ftq_instrs);
+        Self {
+            hierarchy,
+            engine,
+            walker,
+            ftq,
+            pfq: PrefetchQueue::new(64),
+            decode_queue: VecDeque::with_capacity(cfg.core.decode_queue),
+            rob: VecDeque::with_capacity(cfg.core.rob_entries),
+            iq: VecDeque::with_capacity(cfg.core.iq_entries),
+            lq_count: 0,
+            sq_count: 0,
+            comp_time: vec![0; COMP_RING],
+            next_seq: 1,
+            now: 0,
+            staged: None,
+            btb_stall_until: 0,
+            wp_active: false,
+            wp_pc: 0,
+            resteer_done_at: None,
+            pending_flags: HashMap::new(),
+            pending_resolutions: BinaryHeap::new(),
+            selection: cfg.l2_policy.selection(),
+            mark_priority: cfg.l2_policy.is_emissary(),
+            sel_rng: XorShift64::new(cfg.seed ^ 0x517),
+            reset_schedule: cfg.priority_reset_interval.map(ResetSchedule::every),
+            reuse: cfg.track_reuse.then(ReuseTracker::new),
+            stats: WindowStats::default(),
+            total_committed: 0,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The memory hierarchy (for invariant checks and inspection).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The fetch engine (for predictor statistics).
+    pub fn engine(&self) -> &FetchEngine {
+        &self.engine
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total instructions committed since construction.
+    pub fn total_committed(&self) -> u64 {
+        self.total_committed
+    }
+
+    /// Runs until `n` more instructions commit. Returns cycles elapsed.
+    pub fn run_instrs(&mut self, n: u64) -> u64 {
+        let target = self.total_committed + n;
+        let start_cycle = self.now;
+        while self.total_committed < target {
+            self.step();
+        }
+        self.now - start_cycle
+    }
+
+    /// Zeroes window counters (warmup boundary). Microarchitectural state
+    /// (caches, predictors, in-flight work) is preserved.
+    pub fn reset_window(&mut self) {
+        self.stats = WindowStats::default();
+        self.hierarchy.reset_stats();
+        self.engine.reset_stats();
+    }
+
+    /// One cycle.
+    pub fn step(&mut self) {
+        self.commit();
+        self.issue();
+        self.decode_dispatch();
+        self.fetch();
+        self.wrong_path_fetch();
+        self.fdip();
+        self.predict_enqueue();
+        self.resolve_misses();
+        self.now += 1;
+        self.stats.cycles += 1;
+    }
+
+    // --- Commit -----------------------------------------------------------
+
+    fn commit(&mut self) {
+        let width = self.cfg.core.commit_width;
+        let mut committed = 0;
+        while committed < width {
+            match self.rob.front() {
+                Some(e) if e.completed_at <= self.now => {
+                    let e = self.rob.pop_front().expect("front checked");
+                    match e.op {
+                        OpClass::Load(_) => self.lq_count -= 1,
+                        OpClass::Store(_) => self.sq_count -= 1,
+                        _ => {}
+                    }
+                    committed += 1;
+                }
+                _ => break,
+            }
+        }
+        self.stats.committed += u64::from(committed);
+        self.total_committed += u64::from(committed);
+        if committed == 0 {
+            if self.rob.is_empty() {
+                self.stats.fe_stall_cycles += 1;
+            } else {
+                self.stats.be_stall_cycles += 1;
+            }
+        }
+        if let Some(sched) = &mut self.reset_schedule {
+            if sched.due(self.total_committed) {
+                self.hierarchy.reset_instr_priorities();
+            }
+        }
+    }
+
+    // --- Issue ------------------------------------------------------------
+
+    fn ready(&self, dep_seq: u64) -> bool {
+        dep_seq == 0 || self.comp_time[(dep_seq as usize) & (COMP_RING - 1)] <= self.now
+    }
+
+    fn issue(&mut self) {
+        let width = self.cfg.core.issue_width as usize;
+        let window = self.cfg.core.scheduler_window;
+        let mut issued = 0usize;
+        let mut examined = 0usize;
+        let front_seq = match self.rob.front() {
+            Some(e) => e.seq,
+            None => return,
+        };
+        let mut iq = std::mem::take(&mut self.iq);
+        iq.retain(|&seq| {
+            if issued >= width || examined >= window {
+                return true;
+            }
+            examined += 1;
+            let idx = (seq - front_seq) as usize;
+            // Entries ahead of front were committed already (impossible for
+            // unissued), so idx is in range.
+            let (dep1, dep2, op, mispredict) = {
+                let e = &self.rob[idx];
+                (e.dep1, e.dep2, e.op, e.mispredict)
+            };
+            if !self.ready(dep1) || !self.ready(dep2) {
+                return true;
+            }
+            let completed_at = match op {
+                OpClass::Alu | OpClass::Branch => self.now + self.cfg.core.alu_latency,
+                OpClass::Load(addr) => {
+                    self.hierarchy
+                        .access_data(line_of(addr), self.now, false, false)
+                        .ready_at
+                }
+                OpClass::Store(addr) => {
+                    // Write-allocate now; retire through the store buffer.
+                    self.hierarchy.access_data(line_of(addr), self.now, true, false);
+                    self.now + 1
+                }
+            };
+            {
+                let e = &mut self.rob[idx];
+                e.issued = true;
+                e.completed_at = completed_at;
+            }
+            self.comp_time[(seq as usize) & (COMP_RING - 1)] = completed_at;
+            if mispredict {
+                // The mispredicted branch resolves: schedule the re-steer.
+                self.resteer_done_at =
+                    Some(completed_at + self.cfg.core.resteer_penalty);
+            }
+            issued += 1;
+            self.stats.issued += 1;
+            false
+        });
+        self.iq = iq;
+    }
+
+    // --- Decode / dispatch --------------------------------------------------
+
+    fn decode_dispatch(&mut self) {
+        let width = self.cfg.core.decode_width;
+        let (rob_cap, iq_cap, lq_cap, sq_cap) = (
+            self.cfg.core.rob_entries,
+            self.cfg.core.iq_entries,
+            self.cfg.core.lq_entries,
+            self.cfg.core.sq_entries,
+        );
+        let backend_can_accept = self.rob.len() < rob_cap && self.iq.len() < iq_cap;
+        let mut decoded = 0;
+        while decoded < width {
+            let Some(head) = self.decode_queue.front() else {
+                break;
+            };
+            if head.ready_at > self.now {
+                break;
+            }
+            if self.rob.len() >= rob_cap || self.iq.len() >= iq_cap {
+                break;
+            }
+            match head.instr.op {
+                DynOp::Load(_) if self.lq_count >= lq_cap => break,
+                DynOp::Store(_) if self.sq_count >= sq_cap => break,
+                _ => {}
+            }
+            let f = self.decode_queue.pop_front().expect("front checked");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let op = match f.instr.op {
+                DynOp::Alu if f.instr.is_terminator => OpClass::Branch,
+                DynOp::Alu => OpClass::Alu,
+                DynOp::Load(a) => {
+                    self.lq_count += 1;
+                    OpClass::Load(a)
+                }
+                DynOp::Store(a) => {
+                    self.sq_count += 1;
+                    OpClass::Store(a)
+                }
+            };
+            let dep = |d: u8| -> u64 {
+                if d == 0 || u64::from(d) >= seq {
+                    0
+                } else {
+                    seq - u64::from(d)
+                }
+            };
+            self.comp_time[(seq as usize) & (COMP_RING - 1)] = PENDING;
+            self.rob.push_back(RobEntry {
+                seq,
+                op,
+                dep1: dep(f.instr.dep1),
+                dep2: dep(f.instr.dep2),
+                issued: false,
+                completed_at: PENDING,
+                mispredict: f.mispredict,
+            });
+            self.iq.push_back(seq);
+            decoded += 1;
+            self.stats.decoded += 1;
+        }
+        // Starvation: decode made zero progress, the back-end had room, and
+        // the head instruction exists but its line is still in flight.
+        if decoded == 0 && backend_can_accept {
+            if let Some(head) = self.decode_queue.front() {
+                if head.ready_at > self.now {
+                    let empty_iq = self.iq.is_empty();
+                    self.stats.starvation_cycles += 1;
+                    if empty_iq {
+                        self.stats.starvation_empty_iq_cycles += 1;
+                    }
+                    let line = head.line;
+                    let bucket = head.bucket;
+                    let src_idx = match head.source {
+                        ServedBy::L1 | ServedBy::InFlight => 0,
+                        ServedBy::L2 => 1,
+                        ServedBy::L3 => 2,
+                        ServedBy::Memory => 3,
+                    };
+                    self.stats.starve_by_source[src_idx] += 1;
+                    self.pending_flags
+                        .entry(line)
+                        .or_insert(MissFlags::NONE)
+                        .merge(MissFlags {
+                            starved_decode: true,
+                            empty_issue_queue: empty_iq,
+                        });
+                    // Figure 2: attribute the starvation cycle to the
+                    // blamed line's reuse bucket as observed when the line
+                    // was fetched (the fetch itself already refreshed the
+                    // tracker, so the current distance would read ~0).
+                    match bucket {
+                        ReuseBucket::Short => self.stats.reuse_attr.starve_short += 1,
+                        ReuseBucket::Mid => self.stats.reuse_attr.starve_mid += 1,
+                        ReuseBucket::Long => self.stats.reuse_attr.starve_long += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Fetch --------------------------------------------------------------
+
+    fn fetch(&mut self) {
+        if self.decode_queue.len() >= self.cfg.core.decode_queue {
+            return;
+        }
+        let Some(entry) = self.ftq.pop() else {
+            return;
+        };
+        let FtqEntry {
+            start: _,
+            num_instrs: _,
+            payload,
+        } = entry;
+        let BlockPayload {
+            instrs,
+            mispredicted,
+        } = payload;
+        // Demand-access each distinct line the block touches.
+        let mut line_ready: HashMap<u64, (u64, ReuseBucket, ServedBy)> = HashMap::new();
+        let n = instrs.len();
+        for (i, di) in instrs.into_iter().enumerate() {
+            let line = line_of(di.pc);
+            let (ready_at, bucket, source) = match line_ready.get(&line) {
+                Some(&r) => r,
+                None => {
+                    let m = self.hierarchy.access_instr(line, self.now, false);
+                    if m.needs_resolution {
+                        self.pending_resolutions.push(Reverse((m.ready_at, line)));
+                    }
+                    let bucket = self.record_fetch_line(line, m.source);
+                    line_ready.insert(line, (m.ready_at, bucket, m.source));
+                    (m.ready_at, bucket, m.source)
+                }
+            };
+            self.decode_queue.push_back(Fetched {
+                instr: di,
+                ready_at,
+                line,
+                mispredict: mispredicted && i == n - 1,
+                bucket,
+                source,
+            });
+        }
+    }
+
+    /// Figure 2 accounting for one demand-fetched line; returns the line's
+    /// reuse bucket at this access (cold first touches classify as long).
+    fn record_fetch_line(&mut self, line: u64, served_by: ServedBy) -> ReuseBucket {
+        let Some(tracker) = &mut self.reuse else {
+            return ReuseBucket::Long;
+        };
+        let distance = tracker.access(line);
+        let bucket = distance.map(ReuseBucket::classify);
+        let attr = &mut self.stats.reuse_attr;
+        match bucket {
+            Some(ReuseBucket::Long) => attr.long_accesses += 1,
+            Some(_) => attr.other_accesses += 1,
+            None => attr.long_accesses += 1, // cold lines behave as long reuse
+        }
+        if matches!(served_by, ServedBy::L3 | ServedBy::Memory) {
+            match bucket {
+                Some(ReuseBucket::Long) | None => attr.l2_miss_long += 1,
+                Some(_) => attr.l2_miss_other += 1,
+            }
+        }
+        bucket.unwrap_or(ReuseBucket::Long)
+    }
+
+    // --- Wrong-path fetch -----------------------------------------------------
+
+    fn wrong_path_fetch(&mut self) {
+        // Leave wrong-path mode once the re-steer completes.
+        if let Some(done) = self.resteer_done_at {
+            if self.now >= done {
+                self.wp_active = false;
+                self.wp_pc = 0;
+                self.resteer_done_at = None;
+            }
+        }
+        if !self.wp_active || !self.cfg.wrong_path_fetch || self.wp_pc == 0 {
+            return;
+        }
+        for _ in 0..self.cfg.core.wrong_path_blocks_per_cycle {
+            let Some(block) = self.walker.program().block_at(self.wp_pc) else {
+                self.wp_pc = 0;
+                return;
+            };
+            // Touch the block's lines (pollution / accidental prefetch).
+            let first = block.start >> 6;
+            let last = (block.end() - 1) >> 6;
+            for line in first..=last {
+                let m = self.hierarchy.access_instr(line, self.now, true);
+                if m.needs_resolution {
+                    self.pending_resolutions.push(Reverse((m.ready_at, line)));
+                }
+            }
+            // Steer via the BTB, as real wrong-path fetch would.
+            self.wp_pc = match self.engine.wrong_path_lookup(block.start) {
+                Some(e) if matches!(e.kind, BranchClass::Jump | BranchClass::Call) => e.target,
+                Some(e) if e.kind == BranchClass::CondDirect => {
+                    // No oracle on the wrong path: alternate directions.
+                    if self.now & 1 == 0 {
+                        e.target
+                    } else {
+                        block.end()
+                    }
+                }
+                // Returns/indirects and BTB misses end the wrong-path walk.
+                _ => 0,
+            };
+            if self.wp_pc == 0 {
+                return;
+            }
+        }
+    }
+
+    // --- FDIP ----------------------------------------------------------------
+
+    fn fdip(&mut self) {
+        let budget = self.cfg.core.fdip_per_cycle;
+        let lines: Vec<u64> = self.pfq.drain(budget).collect();
+        for line in lines {
+            let m = self.hierarchy.access_instr(line, self.now, true);
+            if m.needs_resolution {
+                self.pending_resolutions.push(Reverse((m.ready_at, line)));
+            }
+        }
+    }
+
+    // --- Predict / enqueue ------------------------------------------------------
+
+    fn predict_enqueue(&mut self) {
+        if self.wp_active || self.now < self.btb_stall_until {
+            return;
+        }
+        if self.staged.is_none() {
+            let mut instrs = Vec::with_capacity(16);
+            let block = self.walker.emit_block(&mut instrs);
+            let desc = BlockDesc {
+                start: block.start,
+                num_instrs: block.num_instrs,
+                kind: term_to_branch_class(block.class),
+                taken_target: block.taken_target,
+                taken: block.taken,
+            };
+            let pred = self.engine.predict_block(&desc);
+            if pred.btb_miss {
+                // Enqueue stall while the pre-decoder repairs the entry;
+                // prefetch the next two fall-through lines (§5.2).
+                self.btb_stall_until = self.now + self.engine.config().btb_miss_penalty;
+                let line = block.start >> 6;
+                self.pfq.enqueue_line(line + 1);
+                self.pfq.enqueue_line(line + 2);
+            }
+            if pred.mispredicted {
+                self.stats.branch_mispredicts += 1;
+            }
+            self.staged = Some((block, instrs, pred.mispredicted));
+            if pred.mispredicted {
+                // Wrong-path steering starts where the predictor went.
+                self.wp_pc = pred.predicted_next;
+            }
+            if pred.btb_miss {
+                return; // stall before enqueuing
+            }
+        }
+        // Try to enqueue the staged block.
+        let Some((block, _, _)) = self.staged.as_ref() else {
+            return;
+        };
+        if !self.ftq.can_push(block.num_instrs) {
+            return;
+        }
+        let (block, instrs, mispredicted) = self.staged.take().expect("staged checked");
+        self.pfq.enqueue_block(block.start, block.num_instrs);
+        let entry = FtqEntry {
+            start: block.start,
+            num_instrs: block.num_instrs,
+            payload: BlockPayload {
+                instrs,
+                mispredicted,
+            },
+        };
+        self.ftq.push(entry).expect("can_push checked");
+        if mispredicted {
+            self.wp_active = true;
+        }
+    }
+
+    // --- Miss resolution ----------------------------------------------------------
+
+    fn resolve_misses(&mut self) {
+        while let Some(&Reverse((ready, line))) = self.pending_resolutions.peek() {
+            if ready > self.now {
+                break;
+            }
+            self.pending_resolutions.pop();
+            let flags = self.pending_flags.remove(&line).unwrap_or(MissFlags::NONE);
+            let high = match self.selection {
+                Some(sel) => sel.evaluate(flags, &mut self.sel_rng),
+                None => false,
+            };
+            self.hierarchy.resolve_instr_fill(line, high);
+            if self.mark_priority && high {
+                self.stats.priority_marks += 1;
+                self.hierarchy.mark_instr_priority(line);
+            }
+        }
+    }
+
+    /// One-line dump of pipeline occupancy for debugging stalls.
+    pub fn debug_state(&self) -> String {
+        format!(
+            "now={} rob={} iq={} dq={} dq_head_ready={:?} ftq={} ftq_instrs={} staged={} \
+             wp_active={} wp_pc={:#x} resteer={:?} btb_stall_until={} lq={} sq={} \
+             rob_head={:?}",
+            self.now,
+            self.rob.len(),
+            self.iq.len(),
+            self.decode_queue.len(),
+            self.decode_queue.front().map(|f| f.ready_at),
+            self.ftq.len(),
+            self.ftq.instr_count(),
+            self.staged.is_some(),
+            self.wp_active,
+            self.wp_pc,
+            self.resteer_done_at,
+            self.btb_stall_until,
+            self.lq_count,
+            self.sq_count,
+            self.rob.front().map(|e| (e.seq, e.issued, e.completed_at)),
+        )
+    }
+
+    /// Figure 8: clamped per-set high-priority line counts.
+    pub fn priority_histogram(&self, buckets: usize) -> Vec<u64> {
+        let mut hist = vec![0u64; buckets];
+        for count in self.hierarchy.l2.priority_counts_per_set() {
+            let idx = (count as usize).min(buckets - 1);
+            hist[idx] += 1;
+        }
+        hist
+    }
+
+    /// The reuse tracker's aggregate counts (empty when disabled).
+    pub fn reuse_counts(&self) -> emissary_stats::reuse::ReuseCounts {
+        self.reuse
+            .as_ref()
+            .map(|t| t.counts())
+            .unwrap_or_default()
+    }
+}
+
+fn term_to_branch_class(class: TermClass) -> BranchClass {
+    match class {
+        TermClass::CondDirect => BranchClass::CondDirect,
+        TermClass::Jump => BranchClass::Jump,
+        TermClass::Call => BranchClass::Call,
+        TermClass::IndirectCall => BranchClass::IndirectCall,
+        TermClass::Return => BranchClass::Return,
+        TermClass::FallThrough => BranchClass::FallThrough,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emissary_workloads::builder::{build_program, ProgramShape};
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            warmup_instrs: 0,
+            measure_instrs: 10_000,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn machine_makes_forward_progress() {
+        let program = build_program(&ProgramShape::tiny());
+        let walker = Walker::new(&program, 1);
+        let mut m = Machine::new(walker, &quick_cfg());
+        let cycles = m.run_instrs(5_000);
+        assert!(cycles > 0);
+        assert_eq!(m.total_committed(), m.stats.committed);
+        assert!(m.total_committed() >= 5_000);
+        // IPC must be sane for an 8-wide machine.
+        let ipc = m.stats.committed as f64 / m.stats.cycles as f64;
+        assert!(ipc > 0.05 && ipc <= 8.0, "ipc = {ipc}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let program = build_program(&ProgramShape::tiny());
+        let run = || {
+            let walker = Walker::new(&program, 1);
+            let mut m = Machine::new(walker, &quick_cfg());
+            m.run_instrs(20_000);
+            (m.now(), m.stats.starvation_cycles, m.stats.branch_mispredicts)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn starvation_cycles_are_detected() {
+        // A large-footprint program on the default hierarchy must starve
+        // decode at least occasionally.
+        let shape = ProgramShape {
+            code_kb: 2048,
+            num_services: 64,
+            service_skew: 0.0,
+            hard_branch_frac: 0.1,
+            ..ProgramShape::tiny()
+        };
+        let program = build_program(&shape);
+        let walker = Walker::new(&program, 1);
+        let mut m = Machine::new(walker, &quick_cfg());
+        m.run_instrs(50_000);
+        assert!(
+            m.stats.starvation_cycles > 0,
+            "no starvation on a thrashing workload"
+        );
+        assert!(m.stats.starvation_empty_iq_cycles <= m.stats.starvation_cycles);
+    }
+
+    #[test]
+    fn emissary_policy_marks_priorities() {
+        let shape = ProgramShape {
+            code_kb: 2048,
+            num_services: 64,
+            service_skew: 0.0,
+            ..ProgramShape::tiny()
+        };
+        let program = build_program(&shape);
+        let walker = Walker::new(&program, 1);
+        let cfg = quick_cfg().with_policy("P(8):S".parse().unwrap());
+        let mut m = Machine::new(walker, &cfg);
+        m.run_instrs(50_000);
+        let hist = m.priority_histogram(9);
+        let protected_sets: u64 = hist[1..].iter().sum();
+        assert!(protected_sets > 0, "no set ever acquired a P=1 line");
+    }
+
+    #[test]
+    fn baseline_policy_never_marks_priorities() {
+        let program = build_program(&ProgramShape::tiny());
+        let walker = Walker::new(&program, 1);
+        let mut m = Machine::new(walker, &quick_cfg());
+        m.run_instrs(20_000);
+        let hist = m.priority_histogram(9);
+        assert_eq!(hist[1..].iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn window_reset_zeroes_counters_but_keeps_state() {
+        let program = build_program(&ProgramShape::tiny());
+        let walker = Walker::new(&program, 1);
+        let mut m = Machine::new(walker, &quick_cfg());
+        m.run_instrs(10_000);
+        let committed_before = m.total_committed();
+        m.reset_window();
+        assert_eq!(m.stats.committed, 0);
+        assert_eq!(m.total_committed(), committed_before);
+        m.run_instrs(1_000);
+        assert!(m.stats.committed >= 1_000);
+    }
+
+    #[test]
+    fn stall_attribution_covers_zero_commit_cycles() {
+        let program = build_program(&ProgramShape::tiny());
+        let walker = Walker::new(&program, 1);
+        let mut m = Machine::new(walker, &quick_cfg());
+        m.run_instrs(20_000);
+        // FE + BE stalls can't exceed total cycles.
+        assert!(m.stats.fe_stall_cycles + m.stats.be_stall_cycles <= m.stats.cycles);
+        // An 8-wide machine at IPC < 8 must have some stall cycles.
+        assert!(m.stats.fe_stall_cycles + m.stats.be_stall_cycles > 0);
+    }
+}
+
+#[cfg(test)]
+mod scenario_tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use emissary_workloads::builder::{build_program, ProgramShape};
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            warmup_instrs: 0,
+            measure_instrs: 10_000,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn wrong_path_fetch_touches_extra_lines() {
+        // With wrong-path fetch disabled, strictly fewer instruction-side
+        // accesses reach the hierarchy.
+        let shape = ProgramShape {
+            hard_branch_frac: 0.3,
+            ..ProgramShape::tiny()
+        };
+        let program = build_program(&shape);
+        let run = |wp: bool| {
+            let walker = Walker::new(&program, 3);
+            let mut cfg = quick_cfg();
+            cfg.wrong_path_fetch = wp;
+            let mut m = Machine::new(walker, &cfg);
+            m.run_instrs(30_000);
+            m.hierarchy.l1i.stats().total_accesses()
+        };
+        let with_wp = run(true);
+        let without_wp = run(false);
+        assert!(
+            with_wp > without_wp,
+            "wrong-path fetch must add L1I traffic: {with_wp} vs {without_wp}"
+        );
+    }
+
+    #[test]
+    fn mispredicts_are_counted_and_resteers_resolve() {
+        let shape = ProgramShape {
+            hard_branch_frac: 0.3,
+            ..ProgramShape::tiny()
+        };
+        let program = build_program(&shape);
+        let walker = Walker::new(&program, 3);
+        let mut m = Machine::new(walker, &quick_cfg());
+        m.run_instrs(30_000);
+        assert!(m.stats.branch_mispredicts > 0, "hard branches must mispredict");
+        // The machine kept committing, so every re-steer resolved.
+        assert!(m.total_committed() >= 30_000);
+    }
+
+    #[test]
+    fn priority_marks_happen_only_with_selection() {
+        let shape = ProgramShape {
+            code_kb: 1024,
+            num_services: 32,
+            service_rotation: 1.0,
+            ..ProgramShape::tiny()
+        };
+        let program = build_program(&shape);
+        let run = |policy: &str| {
+            let walker = Walker::new(&program, 3);
+            let cfg = quick_cfg().with_policy(policy.parse().unwrap());
+            let mut m = Machine::new(walker, &cfg);
+            m.run_instrs(60_000);
+            m.stats.priority_marks
+        };
+        assert_eq!(run("M:1"), 0, "baseline must not mark");
+        assert_eq!(run("DRRIP"), 0, "named policies must not mark");
+        assert!(run("P(8):S") > 0, "P(8):S must mark starving lines");
+        let se = run("P(8):S&E");
+        let se_r = run("P(8):S&E&R(1/8)");
+        assert!(
+            se_r < se,
+            "the random filter must reduce the mark rate: {se_r} vs {se}"
+        );
+    }
+
+    #[test]
+    fn decode_never_outpaces_fetchable_instructions() {
+        let program = build_program(&ProgramShape::tiny());
+        let walker = Walker::new(&program, 1);
+        let mut m = Machine::new(walker, &quick_cfg());
+        m.run_instrs(20_000);
+        // Decoded counts only true-path instructions, so decoded can never
+        // exceed what prediction enqueued; committed <= decoded.
+        assert!(m.stats.committed <= m.stats.decoded);
+        assert!(m.stats.issued <= m.stats.decoded);
+    }
+
+    #[test]
+    fn ftq_bound_limits_runahead() {
+        // Shrinking the FTQ must not break anything and should not speed
+        // the machine up.
+        let program = build_program(&ProgramShape::tiny());
+        let run = |entries: usize, instrs: u32| {
+            let walker = Walker::new(&program, 1);
+            let mut cfg = quick_cfg();
+            cfg.core.ftq_entries = entries;
+            cfg.core.ftq_instrs = instrs;
+            let mut m = Machine::new(walker, &cfg);
+            m.run_instrs(30_000);
+            m.now()
+        };
+        let small = run(2, 16);
+        let normal = run(24, 192);
+        assert!(
+            small >= normal,
+            "a 2-entry FTQ should not beat the 24-entry FTQ: {small} vs {normal}"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-run measurement results.
+
+use emissary_energy::ActivityCounts;
+use emissary_stats::reuse::ReuseCounts;
+
+/// Starvation cycles attributed to each Figure 2 reuse bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseAttribution {
+    /// Starvation cycles blamed on short-reuse lines.
+    pub starve_short: u64,
+    /// Starvation cycles blamed on mid-reuse lines.
+    pub starve_mid: u64,
+    /// Starvation cycles blamed on long-reuse lines.
+    pub starve_long: u64,
+    /// L2 instruction demand misses from long-reuse lines.
+    pub l2_miss_long: u64,
+    /// L2 instruction demand misses from short/mid-reuse lines.
+    pub l2_miss_other: u64,
+    /// Long-reuse line accesses observed (for miss-rate normalization).
+    pub long_accesses: u64,
+    /// Short/mid-reuse line accesses observed.
+    pub other_accesses: u64,
+}
+
+/// Everything measured in one simulation's measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// L2 policy notation.
+    pub policy: String,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions decoded.
+    pub decoded: u64,
+    /// Instructions issued.
+    pub issued: u64,
+    /// Demand misses per kilo-instruction, L1I.
+    pub l1i_mpki: f64,
+    /// Demand misses per kilo-instruction, L1D.
+    pub l1d_mpki: f64,
+    /// L2 instruction-side MPKI.
+    pub l2i_mpki: f64,
+    /// L2 data-side MPKI.
+    pub l2d_mpki: f64,
+    /// L3 MPKI (both kinds).
+    pub l3_mpki: f64,
+    /// Branch mispredictions per kilo-instruction.
+    pub branch_mpki: f64,
+    /// Decode-starvation cycles (commit path).
+    pub starvation_cycles: u64,
+    /// Decode-starvation cycles with the issue queue empty.
+    pub starvation_empty_iq_cycles: u64,
+    /// Starvation cycles by the blamed line's serving level:
+    /// `[l1/unknown, l2, l3, memory]`.
+    pub starvation_by_source: [u64; 4],
+    /// Cycles with zero commits because the ROB was empty.
+    pub fe_stall_cycles: u64,
+    /// Cycles with zero commits because the ROB head was incomplete.
+    pub be_stall_cycles: u64,
+    /// Instruction footprint in bytes (unique lines touched x 64).
+    pub footprint_bytes: u64,
+    /// Figure 2 reuse-distance mix of committed-path line accesses.
+    pub reuse: ReuseCounts,
+    /// Figure 2 starvation/miss attribution by reuse bucket.
+    pub reuse_attribution: ReuseAttribution,
+    /// Figure 8: per-set high-priority line count distribution (9 buckets,
+    /// 0..=8+, measured at end of simulation).
+    pub priority_histogram: Vec<u64>,
+    /// §5.6 ideal-mode misses served at hit latency.
+    pub ideal_l2_saves: u64,
+    /// L2 hits landing on high-priority (`P = 1`) lines.
+    pub l2_priority_hits: u64,
+    /// High-priority marks issued during the window.
+    pub priority_marks: u64,
+    /// Activity counts for the energy model.
+    pub activity: ActivityCounts,
+    /// Estimated total energy (picojoules, default parameters).
+    pub energy_pj: f64,
+}
+
+impl SimReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Decode rate (decoded instructions per cycle).
+    pub fn decode_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.decoded as f64 / self.cycles as f64
+        }
+    }
+
+    /// Issue rate (issued instructions per cycle).
+    pub fn issue_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.issued as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total zero-commit stall cycles.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.fe_stall_cycles + self.be_stall_cycles
+    }
+
+    /// Percent speedup of `self` relative to `baseline` (positive = faster).
+    pub fn speedup_pct_vs(&self, baseline: &SimReport) -> f64 {
+        emissary_stats::summary::speedup_pct(baseline.cycles as f64 / self.cycles as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64) -> SimReport {
+        SimReport {
+            benchmark: "test".into(),
+            policy: "M:1".into(),
+            cycles,
+            committed: 1000,
+            decoded: 1100,
+            issued: 1050,
+            l1i_mpki: 0.0,
+            l1d_mpki: 0.0,
+            l2i_mpki: 0.0,
+            l2d_mpki: 0.0,
+            l3_mpki: 0.0,
+            branch_mpki: 0.0,
+            starvation_cycles: 0,
+            starvation_empty_iq_cycles: 0,
+            starvation_by_source: [0; 4],
+            fe_stall_cycles: 3,
+            be_stall_cycles: 4,
+            footprint_bytes: 0,
+            reuse: ReuseCounts::default(),
+            reuse_attribution: ReuseAttribution::default(),
+            priority_histogram: vec![0; 9],
+            ideal_l2_saves: 0,
+            l2_priority_hits: 0,
+            priority_marks: 0,
+            activity: ActivityCounts::default(),
+            energy_pj: 0.0,
+        }
+    }
+
+    #[test]
+    fn rates_divide_by_cycles() {
+        let r = report(500);
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+        assert!((r.decode_rate() - 2.2).abs() < 1e-12);
+        assert!((r.issue_rate() - 2.1).abs() < 1e-12);
+        assert_eq!(r.total_stall_cycles(), 7);
+    }
+
+    #[test]
+    fn zero_cycles_guarded() {
+        let r = report(0);
+        assert_eq!(r.ipc(), 0.0);
+    }
+
+    #[test]
+    fn speedup_direction() {
+        let base = report(1100);
+        let fast = report(1000);
+        assert!(fast.speedup_pct_vs(&base) > 9.9);
+        assert!(base.speedup_pct_vs(&fast) < 0.0);
+    }
+}

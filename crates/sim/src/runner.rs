@@ -1,0 +1,151 @@
+//! Top-level simulation driver: warmup, measurement, report assembly.
+
+use emissary_energy::{ActivityCounts, EnergyParams};
+use emissary_stats::summary::mpki;
+use emissary_workloads::walker::Walker;
+use emissary_workloads::Profile;
+
+use crate::config::SimConfig;
+use crate::machine::Machine;
+use crate::report::SimReport;
+
+/// Runs one benchmark under one configuration: builds the program, warms
+/// up for `cfg.warmup_instrs` committed instructions, measures for
+/// `cfg.measure_instrs`, and assembles a [`SimReport`] for the measurement
+/// window (mirroring §5.1's warmup/measurement protocol).
+pub fn run_sim(profile: &Profile, cfg: &SimConfig) -> SimReport {
+    let program = profile.build();
+    let walker = Walker::new(&program, profile.seed);
+    let mut machine = Machine::new(walker, cfg);
+    if cfg.warmup_instrs > 0 {
+        machine.run_instrs(cfg.warmup_instrs);
+    }
+    machine.reset_window();
+    machine.run_instrs(cfg.measure_instrs);
+    assemble_report(profile, cfg, &machine)
+}
+
+fn assemble_report(profile: &Profile, cfg: &SimConfig, m: &Machine<'_>) -> SimReport {
+    let s = &m.stats;
+    let h = &m.hierarchy;
+    let committed = s.committed;
+    let l1i = h.l1i.stats();
+    let l1d = h.l1d.stats();
+    let l2 = h.l2.stats();
+    let l3 = h.l3.stats();
+    let hs = *h.stats();
+    let activity = ActivityCounts {
+        cycles: s.cycles,
+        committed_instrs: committed,
+        decoded_instrs: s.decoded,
+        issued_instrs: s.issued,
+        l1i_accesses: l1i.total_accesses(),
+        l1d_accesses: l1d.total_accesses(),
+        l2_accesses: l2.total_accesses(),
+        l3_accesses: l3.total_accesses(),
+        dram_accesses: hs.dram_reads + hs.dram_writes,
+        frontend_lookups: m.engine.stats().blocks,
+    };
+    let energy_pj = EnergyParams::default().estimate(&activity).total();
+    SimReport {
+        benchmark: profile.name.to_string(),
+        policy: cfg.l2_policy.to_string(),
+        cycles: s.cycles,
+        committed,
+        decoded: s.decoded,
+        issued: s.issued,
+        l1i_mpki: mpki(l1i.instr_stream_misses(), committed),
+        l1d_mpki: mpki(l1d.data_misses, committed),
+        l2i_mpki: mpki(l2.instr_stream_misses(), committed),
+        l2d_mpki: mpki(l2.data_misses, committed),
+        l3_mpki: mpki(l3.demand_misses(), committed),
+        branch_mpki: mpki(s.branch_mispredicts, committed),
+        starvation_cycles: s.starvation_cycles,
+        starvation_empty_iq_cycles: s.starvation_empty_iq_cycles,
+        starvation_by_source: s.starve_by_source,
+        fe_stall_cycles: s.fe_stall_cycles,
+        be_stall_cycles: s.be_stall_cycles,
+        footprint_bytes: h.instr_footprint_lines() as u64 * 64,
+        reuse: m.reuse_counts(),
+        reuse_attribution: s.reuse_attr,
+        priority_histogram: m.priority_histogram(17),
+        ideal_l2_saves: hs.ideal_l2_saves,
+        l2_priority_hits: l2.priority_hits,
+        priority_marks: s.priority_marks,
+        activity,
+        energy_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emissary_core::spec::PolicySpec;
+
+    fn quick(policy: PolicySpec) -> SimConfig {
+        SimConfig {
+            warmup_instrs: 10_000,
+            measure_instrs: 40_000,
+            ..SimConfig::default()
+        }
+        .with_policy(policy)
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let p = Profile::by_name("xapian").unwrap();
+        let r = run_sim(&p, &quick(PolicySpec::BASELINE));
+        assert_eq!(r.benchmark, "xapian");
+        assert_eq!(r.policy, "M:1");
+        assert!(r.committed >= 40_000);
+        assert!(r.cycles > 0);
+        assert!(r.ipc() > 0.0);
+        assert!(r.footprint_bytes > 0);
+        assert_eq!(r.activity.cycles, r.cycles);
+        assert!(r.energy_pj > 0.0);
+    }
+
+    #[test]
+    fn same_config_same_result() {
+        let p = Profile::by_name("xapian").unwrap();
+        let a = run_sim(&p, &quick(PolicySpec::BASELINE));
+        let b = run_sim(&p, &quick(PolicySpec::BASELINE));
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.starvation_cycles, b.starvation_cycles);
+    }
+
+    #[test]
+    fn emissary_and_baseline_share_the_committed_path() {
+        // Different L2 policies must not change the architectural work,
+        // only its timing: committed counts match, footprints match.
+        let p = Profile::by_name("xapian").unwrap();
+        let a = run_sim(&p, &quick(PolicySpec::BASELINE));
+        let b = run_sim(&p, &quick(PolicySpec::PREFERRED));
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.footprint_bytes, b.footprint_bytes);
+    }
+
+    #[test]
+    fn ideal_l2_mode_is_no_slower() {
+        // Shrink the L2 so non-compulsory instruction misses occur within a
+        // short run (tomcat's 2.6 MB footprint needs millions of
+        // instructions to wrap on the real 1 MB L2).
+        let p = Profile::by_name("tomcat").unwrap();
+        let mut base = quick(PolicySpec::BASELINE);
+        base.hierarchy.l2 =
+            emissary_cache::config::CacheConfig::new("l2", 64 * 1024, 16, 12);
+        base.hierarchy.l3 =
+            emissary_cache::config::CacheConfig::new("l3", 128 * 1024, 16, 32);
+        let mut ideal = base.clone();
+        ideal.hierarchy.ideal_l2_instr = true;
+        let r0 = run_sim(&p, &base);
+        let r1 = run_sim(&p, &ideal);
+        assert!(r1.ideal_l2_saves > 0, "ideal mode never fired");
+        assert!(
+            r1.cycles <= r0.cycles,
+            "ideal L2 slower than baseline: {} vs {}",
+            r1.cycles,
+            r0.cycles
+        );
+    }
+}

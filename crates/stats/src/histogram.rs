@@ -1,0 +1,148 @@
+//! Simple bucketed counters used by the harness (e.g. Figure 8's per-set
+//! high-priority line distribution).
+
+/// A fixed-bucket histogram over `usize` values.
+///
+/// Values greater than the last bucket index are clamped into the last
+/// bucket, which is convenient for "N or more" tails.
+///
+/// # Example
+///
+/// ```
+/// use emissary_stats::Histogram;
+///
+/// let mut h = Histogram::new(9); // buckets 0..=8
+/// h.record(0);
+/// h.record(8);
+/// h.record(100); // clamped into bucket 8
+/// assert_eq!(h.count(8), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets (`0..buckets`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            buckets: vec![0; buckets],
+        }
+    }
+
+    /// Records one observation of `value` (clamped into the last bucket).
+    pub fn record(&mut self, value: usize) {
+        let idx = value.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Records `weight` observations of `value`.
+    pub fn record_n(&mut self, value: usize, weight: u64) {
+        let idx = value.min(self.buckets.len() - 1);
+        self.buckets[idx] += weight;
+    }
+
+    /// Count in bucket `idx` (0 if out of range).
+    pub fn count(&self, idx: usize) -> u64 {
+        self.buckets.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the histogram recorded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of observations in bucket `idx` (0 when empty).
+    pub fn fraction(&self, idx: usize) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(idx) as f64 / t as f64
+        }
+    }
+
+    /// Iterates over `(bucket, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().copied().enumerate()
+    }
+
+    /// Merges another histogram of the same shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len());
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_overflow_into_last_bucket() {
+        let mut h = Histogram::new(4);
+        h.record(3);
+        h.record(4);
+        h.record(1000);
+        assert_eq!(h.count(3), 3);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(3);
+        h.record(0);
+        h.record(1);
+        h.record(1);
+        h.record(2);
+        let s: f64 = (0..3).map(|i| h.fraction(i)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(2);
+        let mut b = Histogram::new(2);
+        a.record(0);
+        b.record_n(1, 5);
+        a.merge(&b);
+        assert_eq!(a.count(0), 1);
+        assert_eq!(a.count(1), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(2);
+        let b = Histogram::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_fraction() {
+        let h = Histogram::new(5);
+        assert!(h.is_empty());
+        assert_eq!(h.fraction(2), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Aggregation helpers: geometric means, speedups and percentage deltas.
+//!
+//! The paper reports geomean speedups over a baseline; speedup for one
+//! benchmark is `cycles_baseline / cycles_policy`, and "% speedup" is
+//! `(speedup - 1) * 100`.
+
+/// Geometric mean of strictly positive values.
+///
+/// Returns `None` for an empty slice or if any value is non-positive/NaN.
+///
+/// # Example
+///
+/// ```
+/// use emissary_stats::summary::geomean;
+///
+/// assert!((geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+/// assert_eq!(geomean(&[]), None);
+/// ```
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut log_sum = 0.0;
+    for &v in values {
+        if v <= 0.0 || v.is_nan() || !v.is_finite() {
+            return None;
+        }
+        log_sum += v.ln();
+    }
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Speedup of `policy` over `baseline` given cycle counts: `baseline / policy`.
+///
+/// Returns `None` if either count is zero.
+pub fn speedup(baseline_cycles: u64, policy_cycles: u64) -> Option<f64> {
+    if baseline_cycles == 0 || policy_cycles == 0 {
+        return None;
+    }
+    Some(baseline_cycles as f64 / policy_cycles as f64)
+}
+
+/// Converts a speedup ratio to the paper's percentage convention
+/// (`1.0324` -> `3.24`).
+pub fn speedup_pct(ratio: f64) -> f64 {
+    (ratio - 1.0) * 100.0
+}
+
+/// Geomean percentage speedup across per-benchmark cycle pairs.
+///
+/// Returns `None` if the input is empty or any run has zero cycles.
+pub fn geomean_speedup_pct(pairs: &[(u64, u64)]) -> Option<f64> {
+    let ratios: Option<Vec<f64>> = pairs
+        .iter()
+        .map(|&(base, pol)| speedup(base, pol))
+        .collect();
+    geomean(&ratios?).map(speedup_pct)
+}
+
+/// Percentage change of `new` relative to `old`: `(new - old) / old * 100`.
+///
+/// Returns 0 when `old == 0` (so "no starvations before, none after" reads
+/// as no change rather than NaN).
+pub fn pct_change(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (new - old) / old * 100.0
+    }
+}
+
+/// Percentage *reduction* of `new` relative to `old` (positive = improved).
+pub fn pct_reduction(old: f64, new: f64) -> f64 {
+    -pct_change(old, new)
+}
+
+/// Misses-per-kilo-instruction.
+pub fn mpki(misses: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        0.0
+    } else {
+        misses as f64 * 1000.0 / instructions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_values_is_that_value() {
+        assert!((geomean(&[3.0, 3.0, 3.0]).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_rejects_nonpositive() {
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+        assert_eq!(geomean(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn speedup_and_pct_roundtrip() {
+        let s = speedup(1100, 1000).unwrap();
+        assert!((s - 1.1).abs() < 1e-12);
+        assert!((speedup_pct(s) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_rejects_zero_cycles() {
+        assert_eq!(speedup(0, 10), None);
+        assert_eq!(speedup(10, 0), None);
+    }
+
+    #[test]
+    fn geomean_speedup_pct_combines() {
+        // 2x and 0.5x cancel to 0%.
+        let g = geomean_speedup_pct(&[(200, 100), (100, 200)]).unwrap();
+        assert!(g.abs() < 1e-9);
+    }
+
+    #[test]
+    fn pct_change_handles_zero_old() {
+        assert_eq!(pct_change(0.0, 5.0), 0.0);
+        assert!((pct_change(10.0, 5.0) + 50.0).abs() < 1e-12);
+        assert!((pct_reduction(10.0, 5.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpki_scales_per_kilo() {
+        assert!((mpki(5, 1000) - 5.0).abs() < 1e-12);
+        assert_eq!(mpki(5, 0), 0.0);
+    }
+}

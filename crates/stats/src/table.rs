@@ -1,0 +1,173 @@
+//! Plain-text table rendering for the experiment harness binaries.
+//!
+//! Each harness prints both a human-aligned table and (optionally) a TSV
+//! block that downstream tooling can parse.
+
+/// A column-aligned text table builder.
+///
+/// # Example
+///
+/// ```
+/// use emissary_stats::table::Table;
+///
+/// let mut t = Table::new(vec!["bench".into(), "speedup".into()]);
+/// t.row(vec!["tomcat".into(), "3.2%".into()]);
+/// let s = t.render();
+/// assert!(s.contains("tomcat"));
+/// assert!(s.contains("speedup"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given header cells.
+    pub fn new(header: Vec<String>) -> Self {
+        Self {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from `&str` headers.
+    pub fn with_headers(headers: &[&str]) -> Self {
+        Self::new(headers.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Appends a row. Rows shorter than the header are right-padded with
+    /// empty cells; longer rows extend the implicit column count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of displayable values.
+    pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with space-aligned columns, header underlined with dashes.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut out = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                if i + 1 < cols {
+                    for _ in cell.chars().count()..*width {
+                        out.push(' ');
+                    }
+                }
+            }
+            out.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total.max(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as tab-separated values (header first).
+    pub fn render_tsv(&self) -> String {
+        let mut out = self.header.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals, e.g. `0.0324` ->
+/// `"3.24%"`.
+pub fn pct(frac: f64) -> String {
+    format!("{:.2}%", frac * 100.0)
+}
+
+/// Formats an already-percent value with two decimals, e.g. `3.24` -> `"3.24%"`.
+pub fn pct_value(p: f64) -> String {
+    format!("{p:.2}%")
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fixed(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::with_headers(&["a", "longer"]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Column 2 starts at the same offset in header and data rows.
+        let off_h = lines[0].find("longer").unwrap();
+        let off_d = lines[2].find('1').unwrap();
+        assert_eq!(off_h, off_d);
+    }
+
+    #[test]
+    fn tsv_has_tabs_and_header() {
+        let mut t = Table::with_headers(&["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.render_tsv(), "x\ty\n1\t2\n");
+    }
+
+    #[test]
+    fn ragged_rows_are_tolerated() {
+        let mut t = Table::with_headers(&["a"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec![]);
+        let s = t.render();
+        assert!(s.contains('3'));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.0324), "3.24%");
+        assert_eq!(pct_value(3.2), "3.20%");
+        assert_eq!(fixed(1.23456, 3), "1.235");
+    }
+}

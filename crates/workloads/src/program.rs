@@ -1,0 +1,348 @@
+//! Static program representation: a control-flow graph of basic blocks laid
+//! out over a byte-addressed code region, with per-instruction templates.
+
+use std::collections::HashMap;
+
+use crate::behavior::{BranchBehavior, DataStream};
+
+/// Index of a basic block within [`Program::blocks`].
+pub type BlockId = u32;
+
+/// Byte address where generated code begins.
+pub const CODE_BASE: u64 = 0x0040_0000;
+/// Instruction width in bytes (fixed, ARM-like — §5.2 uses Aarch64).
+pub const INSTR_BYTES: u64 = 4;
+
+/// Static classification of an instruction slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrKind {
+    /// Integer/FP computation.
+    Alu,
+    /// Load from the given data stream (index into [`Program::streams`]).
+    Load(u16),
+    /// Store to the given data stream.
+    Store(u16),
+}
+
+/// One static instruction slot: kind plus dependency distances (in dynamic
+/// instructions; 0 means no register dependency on that operand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrTemplate {
+    /// Operation class.
+    pub kind: InstrKind,
+    /// Distance to the first producer.
+    pub dep1: u8,
+    /// Distance to the second producer.
+    pub dep2: u8,
+}
+
+/// The control-transfer ending a block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Conditional direct branch; not-taken falls through to `fallthrough`.
+    Cond {
+        /// Taken-path successor.
+        target: BlockId,
+        /// Not-taken successor.
+        fallthrough: BlockId,
+        /// Dynamic outcome model.
+        behavior: BranchBehavior,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Successor.
+        target: BlockId,
+    },
+    /// Direct call; execution resumes at `ret_to` after the callee returns.
+    Call {
+        /// Callee entry block.
+        callee: BlockId,
+        /// Block control returns to.
+        ret_to: BlockId,
+    },
+    /// Indirect call through a table of possible callees.
+    IndirectCall {
+        /// Candidate callee entries.
+        targets: Vec<BlockId>,
+        /// Zipf skew over `targets` for the random component (0 = uniform).
+        skew: f64,
+        /// Probability of choosing the next target in rotation instead of
+        /// randomly: 1.0 models event-loop / simulator-eval style *cyclic*
+        /// code reuse (the LRU-adversarial regime of §3's long-reuse
+        /// lines); 0.0 models fully random request arrival.
+        rr_frac: f64,
+        /// Block control returns to.
+        ret_to: BlockId,
+    },
+    /// Return to the caller.
+    Return,
+    /// Straight-line fall-through (block split).
+    FallThrough {
+        /// Next block.
+        next: BlockId,
+    },
+}
+
+/// Mirror of the frontend's branch classes, kept local so this crate stays
+/// a leaf; the simulator maps between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermClass {
+    /// Conditional direct branch.
+    CondDirect,
+    /// Unconditional jump.
+    Jump,
+    /// Direct call.
+    Call,
+    /// Indirect call.
+    IndirectCall,
+    /// Return.
+    Return,
+    /// Fall-through.
+    FallThrough,
+}
+
+impl Terminator {
+    /// The terminator's class.
+    pub fn class(&self) -> TermClass {
+        match self {
+            Terminator::Cond { .. } => TermClass::CondDirect,
+            Terminator::Jump { .. } => TermClass::Jump,
+            Terminator::Call { .. } => TermClass::Call,
+            Terminator::IndirectCall { .. } => TermClass::IndirectCall,
+            Terminator::Return => TermClass::Return,
+            Terminator::FallThrough { .. } => TermClass::FallThrough,
+        }
+    }
+}
+
+/// One static basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// This block's id (== its index in [`Program::blocks`]).
+    pub id: BlockId,
+    /// Starting byte address.
+    pub start: u64,
+    /// Instruction templates (the last one is the terminator instruction).
+    pub instrs: Vec<InstrTemplate>,
+    /// Control transfer at the end.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// Number of instructions.
+    pub fn num_instrs(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Byte address one past the block.
+    pub fn end(&self) -> u64 {
+        self.start + INSTR_BYTES * self.instrs.len() as u64
+    }
+}
+
+/// A complete synthetic program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// All blocks, indexed by [`BlockId`].
+    pub blocks: Vec<BasicBlock>,
+    /// Execution entry block.
+    pub entry: BlockId,
+    /// Data streams referenced by [`InstrKind::Load`]/[`InstrKind::Store`].
+    pub streams: Vec<DataStream>,
+    /// Lookup from start address to block (used by wrong-path fetch).
+    pub by_start: HashMap<u64, BlockId>,
+}
+
+impl Program {
+    /// Builds the address index after blocks are laid out.
+    pub fn index(&mut self) {
+        self.by_start = self.blocks.iter().map(|b| (b.start, b.id)).collect();
+    }
+
+    /// The block starting at `addr`, if any.
+    pub fn block_at(&self, addr: u64) -> Option<&BasicBlock> {
+        self.by_start.get(&addr).map(|&id| &self.blocks[id as usize])
+    }
+
+    /// A block by id.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id as usize]
+    }
+
+    /// Total static code bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| INSTR_BYTES * b.instrs.len() as u64)
+            .sum()
+    }
+
+    /// Static code footprint in distinct 64-byte cache lines.
+    pub fn code_lines(&self) -> u64 {
+        let mut lines = std::collections::HashSet::new();
+        for b in &self.blocks {
+            let first = b.start >> 6;
+            let last = (b.end() - 1) >> 6;
+            for l in first..=last {
+                lines.insert(l);
+            }
+        }
+        lines.len() as u64
+    }
+
+    /// Validates structural invariants (tests and builder debug checks):
+    /// block ids match indices, addresses are contiguous per block and
+    /// unique, every terminator's successors exist.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.blocks.is_empty() {
+            return Err("program has no blocks".to_string());
+        }
+        if self.entry as usize >= self.blocks.len() {
+            return Err("entry out of range".to_string());
+        }
+        let n = self.blocks.len() as u32;
+        let mut seen_starts = std::collections::HashSet::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.id != i as u32 {
+                return Err(format!("block {i} has id {}", b.id));
+            }
+            if b.instrs.is_empty() {
+                return Err(format!("block {i} is empty"));
+            }
+            if !seen_starts.insert(b.start) {
+                return Err(format!("duplicate start {:#x}", b.start));
+            }
+            let check = |id: BlockId| -> Result<(), String> {
+                if id >= n {
+                    Err(format!("block {i} references missing block {id}"))
+                } else {
+                    Ok(())
+                }
+            };
+            match &b.terminator {
+                Terminator::Cond {
+                    target,
+                    fallthrough,
+                    ..
+                } => {
+                    check(*target)?;
+                    check(*fallthrough)?;
+                }
+                Terminator::Jump { target } => check(*target)?,
+                Terminator::Call { callee, ret_to } => {
+                    check(*callee)?;
+                    check(*ret_to)?;
+                }
+                Terminator::IndirectCall {
+                    targets, ret_to, ..
+                } => {
+                    if targets.is_empty() {
+                        return Err(format!("block {i} indirect call with no targets"));
+                    }
+                    for t in targets {
+                        check(*t)?;
+                    }
+                    check(*ret_to)?;
+                }
+                Terminator::Return => {}
+                Terminator::FallThrough { next } => check(*next)?,
+            }
+            for t in &b.instrs {
+                match t.kind {
+                    InstrKind::Load(s) | InstrKind::Store(s) => {
+                        if s as usize >= self.streams.len() {
+                            return Err(format!("block {i} references missing stream {s}"));
+                        }
+                    }
+                    InstrKind::Alu => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_program() -> Program {
+        let b0 = BasicBlock {
+            id: 0,
+            start: CODE_BASE,
+            instrs: vec![
+                InstrTemplate {
+                    kind: InstrKind::Alu,
+                    dep1: 0,
+                    dep2: 0,
+                };
+                4
+            ],
+            terminator: Terminator::Jump { target: 1 },
+        };
+        let b1 = BasicBlock {
+            id: 1,
+            start: CODE_BASE + 16,
+            instrs: vec![InstrTemplate {
+                kind: InstrKind::Alu,
+                dep1: 1,
+                dep2: 0,
+            }],
+            terminator: Terminator::Jump { target: 0 },
+        };
+        let mut p = Program {
+            blocks: vec![b0, b1],
+            entry: 0,
+            streams: vec![],
+            by_start: HashMap::new(),
+        };
+        p.index();
+        p
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let p = tiny_program();
+        assert_eq!(p.block_at(CODE_BASE).unwrap().id, 0);
+        assert_eq!(p.block_at(CODE_BASE + 16).unwrap().id, 1);
+        assert!(p.block_at(0x1).is_none());
+    }
+
+    #[test]
+    fn code_size_accounting() {
+        let p = tiny_program();
+        assert_eq!(p.code_bytes(), 20);
+        assert_eq!(p.code_lines(), 1); // both blocks in the first line
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(tiny_program().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_target() {
+        let mut p = tiny_program();
+        p.blocks[1].terminator = Terminator::Jump { target: 99 };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_missing_stream() {
+        let mut p = tiny_program();
+        p.blocks[0].instrs[0].kind = InstrKind::Load(0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn terminator_classes() {
+        assert_eq!(
+            Terminator::Return.class(),
+            TermClass::Return
+        );
+        assert_eq!(
+            Terminator::FallThrough { next: 0 }.class(),
+            TermClass::FallThrough
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Deterministic RNG for workload generation and execution.
+//!
+//! Self-contained (this crate is a leaf) and identical in algorithm to the
+//! cache crate's hardware RNG: xorshift64*. Workload randomness must be
+//! bit-reproducible so that every policy sees the *same* committed path.
+
+/// xorshift64* generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator; a zero seed maps to a fixed non-zero constant.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform in `[0, bound)`; 0 when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Zipf-like skewed choice over `n` items: item 0 most likely.
+    ///
+    /// `skew = 0` is uniform; larger values concentrate mass on early
+    /// items (used to model request-type popularity).
+    pub fn zipf(&mut self, n: usize, skew: f64) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        if skew <= 0.0 {
+            return self.below(n as u64) as usize;
+        }
+        // Power-law transform: raising a uniform draw to (1 + skew) pushes
+        // mass toward 0, so early items are chosen more often; skew = 0
+        // degenerates to uniform.
+        let u = self.f64();
+        let x = u.powf(1.0 + skew) * n as f64;
+        (x as usize).min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng::new(5);
+        let mut b = Rng::new(5);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn chance_respects_probability() {
+        let mut r = Rng::new(7);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_no_skew() {
+        let mut r = Rng::new(9);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[r.zipf(4, 0.0)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skew_prefers_early_items() {
+        let mut r = Rng::new(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.zipf(8, 1.5)] += 1;
+        }
+        assert!(counts[0] > counts[7] * 3, "counts = {counts:?}");
+    }
+
+    #[test]
+    fn zipf_degenerate_sizes() {
+        let mut r = Rng::new(13);
+        assert_eq!(r.zipf(0, 1.0), 0);
+        assert_eq!(r.zipf(1, 1.0), 0);
+        for _ in 0..100 {
+            assert!(r.zipf(3, 2.0) < 3);
+        }
+    }
+}

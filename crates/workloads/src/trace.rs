@@ -1,0 +1,297 @@
+//! Binary trace recording and replay.
+//!
+//! A trace freezes the walker's committed-path stream so that:
+//!
+//! * golden traces can pin workload behaviour across refactors (the
+//!   generator is deterministic, but a recorded trace catches accidental
+//!   changes immediately);
+//! * cache-only studies (MPKI comparisons across replacement policies) can
+//!   replay the stream straight into a
+//!   `Hierarchy` without paying for the
+//!   cycle-level core — the classic trace-driven methodology.
+//!
+//! The format is a self-contained little-endian stream: a magic/version
+//! header followed by one record per block. No external serialization
+//! crates are involved.
+
+use std::io::{self, Read, Write};
+
+use crate::program::TermClass;
+use crate::walker::{DynBlock, DynInstr, DynOp, Walker};
+
+/// File magic ("EMTR") + format version.
+const MAGIC: [u8; 4] = *b"EMTR";
+const VERSION: u16 = 1;
+
+fn class_to_u8(c: TermClass) -> u8 {
+    match c {
+        TermClass::CondDirect => 0,
+        TermClass::Jump => 1,
+        TermClass::Call => 2,
+        TermClass::IndirectCall => 3,
+        TermClass::Return => 4,
+        TermClass::FallThrough => 5,
+    }
+}
+
+fn class_from_u8(v: u8) -> io::Result<TermClass> {
+    Ok(match v {
+        0 => TermClass::CondDirect,
+        1 => TermClass::Jump,
+        2 => TermClass::Call,
+        3 => TermClass::IndirectCall,
+        4 => TermClass::Return,
+        5 => TermClass::FallThrough,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad term class")),
+    })
+}
+
+/// Streams `(DynBlock, instructions)` records to a writer.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    blocks: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(&MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        Ok(Self { out, blocks: 0 })
+    }
+
+    /// Appends one block record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_block(&mut self, block: &DynBlock, instrs: &[DynInstr]) -> io::Result<()> {
+        let o = &mut self.out;
+        o.write_all(&block.id.to_le_bytes())?;
+        o.write_all(&block.start.to_le_bytes())?;
+        o.write_all(&(instrs.len() as u16).to_le_bytes())?;
+        o.write_all(&[class_to_u8(block.class), u8::from(block.taken)])?;
+        o.write_all(&block.taken_target.to_le_bytes())?;
+        o.write_all(&block.next_start.to_le_bytes())?;
+        for i in instrs {
+            let (op, addr) = match i.op {
+                DynOp::Alu => (0u8, 0u64),
+                DynOp::Load(a) => (1, a),
+                DynOp::Store(a) => (2, a),
+            };
+            o.write_all(&[op, i.dep1, i.dep2])?;
+            if op != 0 {
+                o.write_all(&addr.to_le_bytes())?;
+            }
+        }
+        self.blocks += 1;
+        Ok(())
+    }
+
+    /// Blocks written so far.
+    pub fn blocks_written(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Reads records written by [`TraceWriter`].
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Creates a reader, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a magic/version mismatch.
+    pub fn new(mut input: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        }
+        let mut ver = [0u8; 2];
+        input.read_exact(&mut ver)?;
+        if u16::from_le_bytes(ver) != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unsupported trace version",
+            ));
+        }
+        Ok(Self { input })
+    }
+
+    /// Reads the next block; `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or corrupt records.
+    pub fn read_block(&mut self, instrs: &mut Vec<DynInstr>) -> io::Result<Option<DynBlock>> {
+        let mut id4 = [0u8; 4];
+        match self.input.read_exact(&mut id4) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let mut u64buf = [0u8; 8];
+        let mut u16buf = [0u8; 2];
+        let mut b2 = [0u8; 2];
+        self.input.read_exact(&mut u64buf)?;
+        let start = u64::from_le_bytes(u64buf);
+        self.input.read_exact(&mut u16buf)?;
+        let n = u16::from_le_bytes(u16buf) as usize;
+        self.input.read_exact(&mut b2)?;
+        let class = class_from_u8(b2[0])?;
+        let taken = b2[1] != 0;
+        self.input.read_exact(&mut u64buf)?;
+        let taken_target = u64::from_le_bytes(u64buf);
+        self.input.read_exact(&mut u64buf)?;
+        let next_start = u64::from_le_bytes(u64buf);
+        instrs.clear();
+        for slot in 0..n {
+            let mut hdr = [0u8; 3];
+            self.input.read_exact(&mut hdr)?;
+            let op = match hdr[0] {
+                0 => DynOp::Alu,
+                1 | 2 => {
+                    self.input.read_exact(&mut u64buf)?;
+                    let a = u64::from_le_bytes(u64buf);
+                    if hdr[0] == 1 {
+                        DynOp::Load(a)
+                    } else {
+                        DynOp::Store(a)
+                    }
+                }
+                _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad op")),
+            };
+            instrs.push(DynInstr {
+                pc: start + 4 * slot as u64,
+                op,
+                dep1: hdr[1],
+                dep2: hdr[2],
+                is_terminator: slot == n - 1,
+            });
+        }
+        Ok(Some(DynBlock {
+            id: u32::from_le_bytes(id4),
+            start,
+            num_instrs: n as u32,
+            class,
+            taken,
+            taken_target,
+            next_start,
+        }))
+    }
+}
+
+/// Records `blocks` blocks of a walker's stream into `out`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn record<W: Write>(walker: &mut Walker<'_>, blocks: u64, out: W) -> io::Result<W> {
+    let mut writer = TraceWriter::new(out)?;
+    let mut buf = Vec::new();
+    for _ in 0..blocks {
+        buf.clear();
+        let b = walker.emit_block(&mut buf);
+        writer.write_block(&b, &buf)?;
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_program, ProgramShape};
+
+    #[test]
+    fn roundtrip_preserves_stream() {
+        let program = build_program(&ProgramShape::tiny());
+        // Record 200 blocks.
+        let mut w = Walker::new(&program, 9);
+        let bytes = record(&mut w, 200, Vec::new()).unwrap();
+        // Replay and compare against a fresh walker.
+        let mut reference = Walker::new(&program, 9);
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let mut got = Vec::new();
+        let mut expect = Vec::new();
+        let mut count = 0;
+        while let Some(block) = reader.read_block(&mut got).unwrap() {
+            expect.clear();
+            let ref_block = reference.emit_block(&mut expect);
+            assert_eq!(block, ref_block);
+            assert_eq!(got, expect);
+            count += 1;
+        }
+        assert_eq!(count, 200);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = TraceReader::new(&b"NOPE\x01\x00rest"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"EMTR");
+        bytes.extend_from_slice(&99u16.to_le_bytes());
+        let err = TraceReader::new(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn clean_eof_returns_none() {
+        let program = build_program(&ProgramShape::tiny());
+        let mut w = Walker::new(&program, 3);
+        let bytes = record(&mut w, 5, Vec::new()).unwrap();
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let mut buf = Vec::new();
+        for _ in 0..5 {
+            assert!(reader.read_block(&mut buf).unwrap().is_some());
+        }
+        assert!(reader.read_block(&mut buf).unwrap().is_none());
+        assert!(reader.read_block(&mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let program = build_program(&ProgramShape::tiny());
+        let mut w = Walker::new(&program, 3);
+        let bytes = record(&mut w, 2, Vec::new()).unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        let mut reader = TraceReader::new(cut).unwrap();
+        let mut buf = Vec::new();
+        let mut saw_error = false;
+        loop {
+            match reader.read_block(&mut buf) {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(_) => {
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_error, "truncation must surface as an error");
+    }
+}

@@ -1,0 +1,62 @@
+//! Policy shoot-out: every technique from the paper's Figure 7 legend on a
+//! chosen benchmark, printed as one table.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison [benchmark]
+//! ```
+
+use emissary::prelude::*;
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "tomcat".into());
+    let profile = Profile::by_name(&bench).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {bench:?}; available: {:?}", Profile::names());
+        std::process::exit(1);
+    });
+    let cfg = SimConfig {
+        warmup_instrs: 2_000_000,
+        measure_instrs: 6_000_000,
+        ..SimConfig::default()
+    };
+
+    let baseline = run_sim(&profile, &cfg.clone().with_policy(PolicySpec::BASELINE));
+    let mut table = Table::with_headers(&[
+        "policy",
+        "speedup%",
+        "energy_red%",
+        "l2_instr_mpki",
+        "l2_data_mpki",
+        "starv_cycles",
+    ]);
+    let policies = [
+        "M:0",
+        "DCLIP",
+        "SRRIP",
+        "BRRIP",
+        "DRRIP",
+        "PDP",
+        "M:R(1/32)",
+        "M:S&E",
+        "M:S&E&R(1/32)",
+        "P(8):R(1/32)",
+        "P(8):S&E",
+        "P(8):S&E&R(1/32)",
+    ];
+    for p in policies {
+        let spec: PolicySpec = p.parse().expect("policy notation");
+        let r = run_sim(&profile, &cfg.clone().with_policy(spec));
+        table.row(vec![
+            p.to_string(),
+            format!("{:+.2}", r.speedup_pct_vs(&baseline)),
+            format!(
+                "{:+.2}",
+                (baseline.energy_pj - r.energy_pj) / baseline.energy_pj * 100.0
+            ),
+            format!("{:.2}", r.l2i_mpki),
+            format!("{:.2}", r.l2d_mpki),
+            r.starvation_cycles.to_string(),
+        ]);
+    }
+    println!("benchmark: {} (vs TPLRU+FDIP baseline)", profile.name);
+    print!("{}", table.render());
+}

@@ -1,0 +1,41 @@
+//! Quickstart: EMISSARY vs the TPLRU+FDIP baseline on one benchmark.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [benchmark]
+//! ```
+
+use emissary::prelude::*;
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "tomcat".into());
+    let profile = Profile::by_name(&bench).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {bench:?}; available: {:?}", Profile::names());
+        std::process::exit(1);
+    });
+    let cfg = SimConfig {
+        warmup_instrs: 2_000_000,
+        measure_instrs: 6_000_000,
+        ..SimConfig::default()
+    };
+
+    println!("benchmark: {}", profile.name);
+    let baseline = run_sim(&profile, &cfg.clone().with_policy(PolicySpec::BASELINE));
+    println!(
+        "baseline   (M:1 / TPLRU):      IPC {:.3}  L2I MPKI {:6.2}  starvation cycles {:>9}",
+        baseline.ipc(),
+        baseline.l2i_mpki,
+        baseline.starvation_cycles
+    );
+    let emissary = run_sim(&profile, &cfg.with_policy(PolicySpec::PREFERRED));
+    println!(
+        "EMISSARY   (P(8):S&E&R(1/32)): IPC {:.3}  L2I MPKI {:6.2}  starvation cycles {:>9}",
+        emissary.ipc(),
+        emissary.l2i_mpki,
+        emissary.starvation_cycles
+    );
+    println!(
+        "speedup: {:.2}%   energy reduction: {:.2}%",
+        emissary.speedup_pct_vs(&baseline),
+        (baseline.energy_pj - emissary.energy_pj) / baseline.energy_pj * 100.0
+    );
+}

@@ -1,0 +1,67 @@
+//! Reuse-distance and starvation analysis (the paper's §3 / Figure 2):
+//! which reuse class causes decode starvation, and where those lines are
+//! served from.
+//!
+//! ```sh
+//! cargo run --release --example starvation_analysis [benchmark]
+//! ```
+
+use emissary::prelude::*;
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "specjbb".into());
+    let profile = Profile::by_name(&bench).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {bench:?}; available: {:?}", Profile::names());
+        std::process::exit(1);
+    });
+    let cfg = SimConfig {
+        warmup_instrs: 2_000_000,
+        measure_instrs: 6_000_000,
+        track_reuse: true,
+        ..SimConfig::default()
+    };
+
+    let r = run_sim(&profile, &cfg.with_policy(PolicySpec::BASELINE));
+    let acc_total = (r.reuse.short + r.reuse.mid + r.reuse.long + r.reuse.cold).max(1) as f64;
+    println!("benchmark: {}", profile.name);
+    println!(
+        "instruction footprint: {:.2} MB over {} committed instructions",
+        r.footprint_bytes as f64 / (1024.0 * 1024.0),
+        r.committed
+    );
+    println!("\ncommitted-path line accesses by reuse distance:");
+    println!(
+        "  short [0,100):    {:6.1}%",
+        r.reuse.short as f64 / acc_total * 100.0
+    );
+    println!(
+        "  mid [100,5000):   {:6.1}%",
+        r.reuse.mid as f64 / acc_total * 100.0
+    );
+    println!(
+        "  long [5000,inf):  {:6.1}%  (+ {:.1}% cold first touches)",
+        r.reuse.long as f64 / acc_total * 100.0,
+        r.reuse.cold as f64 / acc_total * 100.0
+    );
+    let a = r.reuse_attribution;
+    let misses = (a.l2_miss_long + a.l2_miss_other).max(1) as f64;
+    println!(
+        "\nL2 instruction misses from long-reuse lines: {:.1}% (paper: >90%)",
+        a.l2_miss_long as f64 / misses * 100.0
+    );
+    let starve = (a.starve_short + a.starve_mid + a.starve_long).max(1) as f64;
+    println!("\nstarvation cycles by blamed line's reuse class:");
+    println!("  short: {:6.1}%", a.starve_short as f64 / starve * 100.0);
+    println!("  mid:   {:6.1}%", a.starve_mid as f64 / starve * 100.0);
+    println!(
+        "  long:  {:6.1}%  (paper: >90% of starvation from long-reuse lines)",
+        a.starve_long as f64 / starve * 100.0
+    );
+    println!(
+        "\ntotal decode starvation: {} cycles ({:.1}% of {} cycles), {} with an empty IQ",
+        r.starvation_cycles,
+        r.starvation_cycles as f64 / r.cycles as f64 * 100.0,
+        r.cycles,
+        r.starvation_empty_iq_cycles
+    );
+}

@@ -1,0 +1,215 @@
+//! `emissary` — command-line front door to the simulator.
+//!
+//! ```text
+//! emissary list
+//! emissary run <benchmark> [--policy <spec>] [--instrs N] [--warmup N] [--figure1] [--ideal]
+//! emissary compare <benchmark> [--instrs N] <policy>...
+//! emissary sweep <benchmark> [--instrs N] [--selection <sel>]
+//! ```
+//!
+//! Policies use the paper's notation (`M:1`, `P(8):S&E&R(1/32)`, `DRRIP`,
+//! `P(8):S&E+GHRP`, …).
+
+use emissary::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         emissary list\n  \
+         emissary run <benchmark> [--policy <spec>] [--instrs N] [--warmup N] [--figure1] [--ideal]\n  \
+         emissary compare <benchmark> [--instrs N] <policy>...\n  \
+         emissary sweep <benchmark> [--instrs N] [--selection <sel>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let idx = args.iter().position(|a| a == name)?;
+    if idx + 1 >= args.len() {
+        eprintln!("{name} requires a value");
+        usage();
+    }
+    args.remove(idx);
+    Some(args.remove(idx))
+}
+
+fn parse_switch(args: &mut Vec<String>, name: &str) -> bool {
+    if let Some(idx) = args.iter().position(|a| a == name) {
+        args.remove(idx);
+        true
+    } else {
+        false
+    }
+}
+
+fn profile_or_exit(name: &str) -> Profile {
+    Profile::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown benchmark {name:?}; available: {}",
+            Profile::names().join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
+fn policy_or_exit(s: &str) -> PolicySpec {
+    s.parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
+fn config(args: &mut Vec<String>) -> SimConfig {
+    let mut cfg = if parse_switch(args, "--figure1") {
+        SimConfig::figure1()
+    } else {
+        SimConfig::default()
+    };
+    cfg.measure_instrs = parse_flag(args, "--instrs")
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .unwrap_or(4_000_000);
+    cfg.warmup_instrs = parse_flag(args, "--warmup")
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .unwrap_or(cfg.measure_instrs / 2);
+    if parse_switch(args, "--ideal") {
+        cfg.hierarchy.ideal_l2_instr = true;
+    }
+    cfg
+}
+
+fn print_report(r: &SimReport) {
+    println!("benchmark        {}", r.benchmark);
+    println!("policy           {}", r.policy);
+    println!("cycles           {}", r.cycles);
+    println!("instructions     {}", r.committed);
+    println!("IPC              {:.4}", r.ipc());
+    println!("decode rate      {:.4}", r.decode_rate());
+    println!("issue rate       {:.4}", r.issue_rate());
+    println!(
+        "MPKI             l1i {:.2}  l1d {:.2}  l2i {:.2}  l2d {:.2}  l3 {:.2}  branch {:.2}",
+        r.l1i_mpki, r.l1d_mpki, r.l2i_mpki, r.l2d_mpki, r.l3_mpki, r.branch_mpki
+    );
+    println!(
+        "starvation       {} cycles ({:.1}%), {} with empty IQ",
+        r.starvation_cycles,
+        r.starvation_cycles as f64 / r.cycles.max(1) as f64 * 100.0,
+        r.starvation_empty_iq_cycles
+    );
+    println!(
+        "starve by source l1 {}  l2 {}  l3 {}  memory {}",
+        r.starvation_by_source[0],
+        r.starvation_by_source[1],
+        r.starvation_by_source[2],
+        r.starvation_by_source[3]
+    );
+    println!(
+        "stalls           fe {}  be {}",
+        r.fe_stall_cycles, r.be_stall_cycles
+    );
+    println!(
+        "footprint        {:.2} MB",
+        r.footprint_bytes as f64 / 1048576.0
+    );
+    println!(
+        "priority         {} marks, {} protected-line hits, {} sets saturated",
+        r.priority_marks,
+        r.l2_priority_hits,
+        r.priority_histogram[8..].iter().sum::<u64>()
+    );
+    println!("energy           {:.3} mJ", r.energy_pj * 1e-9);
+}
+
+fn cmd_run(mut args: Vec<String>) {
+    let cfg = config(&mut args);
+    let Some(bench) = args.first() else { usage() };
+    let profile = profile_or_exit(bench);
+    let policy = args
+        .get(1)
+        .map(String::as_str)
+        .map(policy_or_exit)
+        .unwrap_or(PolicySpec::PREFERRED);
+    let r = run_sim(&profile, &cfg.with_policy(policy));
+    print_report(&r);
+}
+
+fn cmd_compare(mut args: Vec<String>) {
+    let cfg = config(&mut args);
+    if args.is_empty() {
+        usage();
+    }
+    let profile = profile_or_exit(&args.remove(0));
+    let mut policies: Vec<PolicySpec> = vec![PolicySpec::BASELINE];
+    if args.is_empty() {
+        policies.push(PolicySpec::PREFERRED);
+        policies.push(policy_or_exit("P(8):S&E"));
+        policies.push(PolicySpec::Drrip);
+    } else {
+        policies.extend(args.iter().map(|s| policy_or_exit(s)));
+    }
+    let mut t = Table::with_headers(&["policy", "cycles", "speedup%", "l2i_mpki", "starve"]);
+    let mut base_cycles = None;
+    for p in policies {
+        let r = run_sim(&profile, &cfg.clone().with_policy(p));
+        let base = *base_cycles.get_or_insert(r.cycles);
+        t.row(vec![
+            r.policy.clone(),
+            r.cycles.to_string(),
+            format!("{:+.2}", speedup_pct(base as f64 / r.cycles as f64)),
+            format!("{:.2}", r.l2i_mpki),
+            r.starvation_cycles.to_string(),
+        ]);
+    }
+    println!("benchmark: {}", profile.name);
+    print!("{}", t.render());
+}
+
+fn cmd_sweep(mut args: Vec<String>) {
+    let cfg = config(&mut args);
+    if args.is_empty() {
+        usage();
+    }
+    let profile = profile_or_exit(&args.remove(0));
+    let selection = parse_flag(&mut args, "--selection").unwrap_or_else(|| "S&E&R(1/32)".into());
+    let base = run_sim(&profile, &cfg.clone().with_policy(PolicySpec::BASELINE));
+    let mut t = Table::with_headers(&["N", "speedup%", "l2i_mpki", "l2d_mpki", "starve"]);
+    for n in [0usize, 2, 4, 6, 8, 10, 12, 14] {
+        let spec = policy_or_exit(&format!("P({n}):{selection}"));
+        let r = run_sim(&profile, &cfg.clone().with_policy(spec));
+        t.row(vec![
+            n.to_string(),
+            format!("{:+.2}", r.speedup_pct_vs(&base)),
+            format!("{:.2}", r.l2i_mpki),
+            format!("{:.2}", r.l2d_mpki),
+            r.starvation_cycles.to_string(),
+        ]);
+    }
+    println!("benchmark: {}  selection: {selection}", profile.name);
+    print!("{}", t.render());
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "list" => {
+            for p in Profile::all() {
+                let program = p.build();
+                println!(
+                    "{:16} code {:7.2} KB  services {:3}  rotation {:.2}  seed {:#x}",
+                    p.name,
+                    program.code_bytes() as f64 / 1024.0,
+                    p.shape.num_services,
+                    p.shape.service_rotation,
+                    p.seed
+                );
+            }
+        }
+        "run" => cmd_run(args),
+        "compare" => cmd_compare(args),
+        "sweep" => cmd_sweep(args),
+        _ => usage(),
+    }
+}
