@@ -82,7 +82,12 @@ fn bench_hierarchy(c: &mut Criterion) {
             for _ in 0..1000 {
                 now += 2;
                 if rng.one_in(3) {
-                    h.access_data(100_000 + rng.next_below(16 * 1024), now, rng.one_in(4), false);
+                    h.access_data(
+                        100_000 + rng.next_below(16 * 1024),
+                        now,
+                        rng.one_in(4),
+                        false,
+                    );
                 } else {
                     h.access_instr(rng.next_below(32 * 1024), now, false);
                 }

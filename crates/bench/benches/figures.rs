@@ -65,7 +65,15 @@ fn bench_experiments(c: &mut Criterion) {
     });
 
     // Figure 7 kernels: each prior-work policy class once.
-    for policy in ["M:0", "M:R(1/32)", "SRRIP", "BRRIP", "DRRIP", "PDP", "DCLIP"] {
+    for policy in [
+        "M:0",
+        "M:R(1/32)",
+        "SRRIP",
+        "BRRIP",
+        "DRRIP",
+        "PDP",
+        "DCLIP",
+    ] {
         g.bench_function(format!("fig7_{policy}"), |b| {
             let cfg = quick_cfg().with_policy(policy.parse().unwrap());
             b.iter(|| run("wikipedia", &cfg));

@@ -8,12 +8,26 @@
 //!
 //! Run length scales via `EMISSARY_MEASURE_INSNS` / `EMISSARY_WARMUP_INSNS`.
 
+use emissary_bench::experiments::Experiment;
+use emissary_bench::{results, Job};
 use emissary_core::dual::RecencyFlavor;
 use emissary_core::spec::PolicySpec;
-use emissary_sim::{run_sim, SimConfig};
+use emissary_sim::{SimConfig, SimReport};
 use emissary_stats::summary::speedup_pct;
 use emissary_stats::table::{fixed, Table};
 use emissary_workloads::Profile;
+
+/// Runs one configuration, logging the run (with any interval samples)
+/// for the JSONL results stream.
+fn run_logged(profile: &Profile, cfg: &SimConfig) -> SimReport {
+    let run = Job {
+        profile: profile.clone(),
+        config: cfg.clone(),
+    }
+    .run_observed();
+    results::log_run(&run);
+    run.report
+}
 
 fn main() {
     let cfg = emissary_bench::base_config();
@@ -23,14 +37,19 @@ fn main() {
     );
     let benches = ["verilator", "finagle-http"];
 
-    println!("# Ablations\n");
+    let mut tables = Vec::new();
     for bench in benches {
         let profile = Profile::by_name(bench).expect("profile");
-        let baseline = run_sim(&profile, &cfg.clone().with_policy(PolicySpec::BASELINE));
+        let baseline = run_logged(&profile, &cfg.clone().with_policy(PolicySpec::BASELINE));
 
-        let mut t = Table::with_headers(&["variant", "speedup_vs_default%", "l2i_mpki", "starve_cycles"]);
+        let mut t = Table::with_headers(&[
+            "variant",
+            "speedup_vs_default%",
+            "l2i_mpki",
+            "starve_cycles",
+        ]);
         let mut row = |name: &str, c: &SimConfig| {
-            let r = run_sim(&profile, c);
+            let r = run_logged(&profile, c);
             t.row(vec![
                 name.to_string(),
                 fixed(speedup_pct(baseline.cycles as f64 / r.cycles as f64), 2),
@@ -76,8 +95,11 @@ fn main() {
         v.priority_reset_interval = Some((cfg.measure_instrs / 4).max(1));
         row("P-bit reset every measure/4", &v);
 
-        println!("## {bench} (speedups vs TPLRU+FDIP baseline)\n");
-        print!("{}", t.render());
-        println!("\nTSV:\n{}", t.render_tsv());
+        tables.push((format!("{bench} (speedups vs TPLRU+FDIP baseline)"), t));
     }
+    let exp = Experiment {
+        title: "Ablations".into(),
+        tables,
+    };
+    results::emit("ablations", &exp);
 }

@@ -69,7 +69,9 @@ fn main() {
     }
     t.row(row);
 
-    println!("# Extensions — §7 related-work combinations (speedup % vs TPLRU+FDIP)\n");
-    print!("{}", t.render());
-    println!("\nTSV:\n{}", t.render_tsv());
+    let exp = emissary_bench::experiments::Experiment {
+        title: "Extensions — §7 related-work combinations (speedup % vs TPLRU+FDIP)".into(),
+        tables: vec![("speedups".into(), t)],
+    };
+    emissary_bench::results::emit("extensions", &exp);
 }

@@ -11,5 +11,5 @@ fn main() {
         emissary_bench::threads()
     );
     let exp = emissary_bench::experiments::fig2(&cfg);
-    print!("{}", exp.render());
+    emissary_bench::results::emit("fig2", &exp);
 }

@@ -13,5 +13,5 @@ fn main() {
         with_reset
     );
     let exp = emissary_bench::experiments::fig8(&cfg, with_reset);
-    print!("{}", exp.render());
+    emissary_bench::results::emit("fig8", &exp);
 }

@@ -11,5 +11,5 @@ fn main() {
         emissary_bench::threads()
     );
     let exp = emissary_bench::experiments::ideal_l2(&cfg);
-    print!("{}", exp.render());
+    emissary_bench::results::emit("ideal_l2", &exp);
 }

@@ -10,12 +10,26 @@
 //!
 //! Run length scales via `EMISSARY_MEASURE_INSNS` / `EMISSARY_WARMUP_INSNS`.
 
+use emissary_bench::experiments::Experiment;
+use emissary_bench::{results, Job};
 use emissary_cache::config::CacheConfig;
 use emissary_core::spec::PolicySpec;
-use emissary_sim::run_sim;
+use emissary_sim::{SimConfig, SimReport};
 use emissary_stats::summary::speedup_pct;
 use emissary_stats::table::{fixed, Table};
 use emissary_workloads::Profile;
+
+/// Runs one configuration, logging the run (with any interval samples)
+/// for the JSONL results stream.
+fn run_logged(profile: &Profile, cfg: &SimConfig) -> SimReport {
+    let run = Job {
+        profile: profile.clone(),
+        config: cfg.clone(),
+    }
+    .run_observed();
+    results::log_run(&run);
+    run.report
+}
 
 fn main() {
     let base_cfg = emissary_bench::base_config();
@@ -23,7 +37,7 @@ fn main() {
         "l2 sweep: warmup={} measure={}",
         base_cfg.warmup_instrs, base_cfg.measure_instrs
     );
-    println!("# L2 capacity sweep — EMISSARY gain vs cache pressure\n");
+    let mut tables = Vec::new();
     for bench in ["verilator", "tomcat"] {
         let profile = Profile::by_name(bench).expect("profile");
         let mut t = Table::with_headers(&[
@@ -38,21 +52,21 @@ fn main() {
             cfg.hierarchy.l2 = CacheConfig::new("l2", l2_kb * 1024, 16, 12);
             // Keep the exclusive L3 at 2x the L2, as in the default model.
             cfg.hierarchy.l3 = CacheConfig::new("l3", 2 * l2_kb * 1024, 16, 32);
-            let base = run_sim(&profile, &cfg.clone().with_policy(PolicySpec::BASELINE));
-            let emis = run_sim(&profile, &cfg.with_policy(PolicySpec::PREFERRED));
+            let base = run_logged(&profile, &cfg.clone().with_policy(PolicySpec::BASELINE));
+            let emis = run_logged(&profile, &cfg.with_policy(PolicySpec::PREFERRED));
             t.row(vec![
                 l2_kb.to_string(),
                 fixed(base.ipc(), 3),
                 fixed(base.l2i_mpki, 2),
-                fixed(
-                    speedup_pct(base.cycles as f64 / emis.cycles as f64),
-                    2,
-                ),
+                fixed(speedup_pct(base.cycles as f64 / emis.cycles as f64), 2),
                 fixed(emis.l2i_mpki, 2),
             ]);
         }
-        println!("## {bench}\n");
-        print!("{}", t.render());
-        println!("\nTSV:\n{}", t.render_tsv());
+        tables.push((bench.to_string(), t));
     }
+    let exp = Experiment {
+        title: "L2 capacity sweep — EMISSARY gain vs cache pressure".into(),
+        tables,
+    };
+    results::emit("l2_sweep", &exp);
 }

@@ -12,6 +12,7 @@
 //! cargo run --release -p emissary-bench --bin mpki_only [-- <benchmark>]
 //! ```
 
+use emissary_bench::experiments::Experiment;
 use emissary_cache::addr::line_of;
 use emissary_cache::hierarchy::{Hierarchy, ServedBy};
 use emissary_cache::rng::XorShift64;
@@ -114,7 +115,9 @@ fn main() {
             protected.to_string(),
         ]);
     }
-    println!("# MPKI-only policy replay — {bench}\n");
-    print!("{}", t.render());
-    println!("\nTSV:\n{}", t.render_tsv());
+    let exp = Experiment {
+        title: format!("MPKI-only policy replay — {bench}"),
+        tables: vec![(format!("{bench} ({instrs} instructions per policy)"), t)],
+    };
+    emissary_bench::results::emit("mpki_only", &exp);
 }

@@ -11,5 +11,5 @@ fn main() {
         emissary_bench::threads()
     );
     let exp = emissary_bench::experiments::table5(&cfg);
-    print!("{}", exp.render());
+    emissary_bench::results::emit("table5", &exp);
 }

@@ -14,7 +14,7 @@ use emissary_stats::summary::{geomean, speedup_pct};
 use emissary_stats::table::{fixed, pct_value, Table};
 use emissary_workloads::Profile;
 
-use crate::{run_parallel, Job};
+use crate::{results, run_parallel_observed, Job};
 
 /// A titled collection of result tables.
 #[derive(Debug)]
@@ -47,11 +47,14 @@ pub fn preferred() -> PolicySpec {
 }
 
 fn parse(s: &str) -> PolicySpec {
-    s.parse().unwrap_or_else(|e| panic!("bad policy {s:?}: {e}"))
+    s.parse()
+        .unwrap_or_else(|e| panic!("bad policy {s:?}: {e}"))
 }
 
 /// Runs `policies` x `profiles` on the template, returning
-/// `(benchmark, policy-string) -> report`.
+/// `(benchmark, policy-string) -> report`. Every run (with its interval
+/// samples, when enabled) is also appended to the [`results`] run log so
+/// the binaries' JSONL output covers it.
 pub fn run_matrix(
     profiles: &[Profile],
     template: &SimConfig,
@@ -65,10 +68,15 @@ pub fn run_matrix(
                 .map(move |&pol| Job::new(p.clone(), template, pol))
         })
         .collect();
-    let reports = run_parallel(&jobs);
-    reports
-        .into_iter()
-        .map(|r| ((r.benchmark.clone(), r.policy.clone()), r))
+    let runs = run_parallel_observed(&jobs);
+    results::log_runs(&runs);
+    runs.into_iter()
+        .map(|r| {
+            (
+                (r.report.benchmark.clone(), r.report.policy.clone()),
+                r.report,
+            )
+        })
         .collect()
 }
 
@@ -207,9 +215,11 @@ pub fn fig2(template: &SimConfig) -> Experiment {
     cells.extend(avg.iter().map(|v| fixed(*v, 1)));
     t.row(cells);
     Experiment {
-        title: "Figure 2 — reuse-distance mix, long-reuse L2 misses, starvation attribution"
-            .into(),
-        tables: vec![("per-benchmark reuse behaviour (TPLRU+FDIP baseline)".into(), t)],
+        title: "Figure 2 — reuse-distance mix, long-reuse L2 misses, starvation attribution".into(),
+        tables: vec![(
+            "per-benchmark reuse behaviour (TPLRU+FDIP baseline)".into(),
+            t,
+        )],
     }
 }
 
@@ -395,10 +405,18 @@ pub fn fig5(template: &SimConfig) -> Experiment {
         .filter(|p| p.name != "tpcc")
         .collect();
     let ns = [0usize, 2, 4, 6, 8, 10, 12, 14];
-    let m_policies = [parse("M:0"), parse("M:R(1/32)"), parse("M:S&E"), parse("M:S&E&R(1/32)")];
+    let m_policies = [
+        parse("M:0"),
+        parse("M:R(1/32)"),
+        parse("M:S&E"),
+        parse("M:S&E&R(1/32)"),
+    ];
     type Family = (&'static str, Box<dyn Fn(usize) -> PolicySpec>);
     let p_families: Vec<Family> = vec![
-        ("P(N):R(1/32)", Box::new(|n| parse(&format!("P({n}):R(1/32)")))),
+        (
+            "P(N):R(1/32)",
+            Box::new(|n| parse(&format!("P({n}):R(1/32)"))),
+        ),
         ("P(N):S&E", Box::new(|n| parse(&format!("P({n}):S&E")))),
         (
             "P(N):S&E&R(1/32)",
@@ -545,10 +563,7 @@ pub fn fig7(template: &SimConfig) -> Experiment {
         let mut erow = vec![p.name.to_string()];
         for tech in &techniques {
             let r = get(&matrix, p.name, tech);
-            srow.push(fixed(
-                speedup_pct(base.cycles as f64 / r.cycles as f64),
-                2,
-            ));
+            srow.push(fixed(speedup_pct(base.cycles as f64 / r.cycles as f64), 2));
             erow.push(fixed(
                 (base.energy_pj - r.energy_pj) / base.energy_pj * 100.0,
                 2,
@@ -622,7 +637,10 @@ pub fn fig8(template: &SimConfig, with_reset: bool) -> Experiment {
             fixed(d1 * 100.0, 2),
         ]);
     }
-    let mut tables = vec![("per-set P=1 count distribution (avg over benchmarks)".into(), t)];
+    let mut tables = vec![(
+        "per-set P=1 count distribution (avg over benchmarks)".into(),
+        t,
+    )];
     if with_reset {
         // §6: periodic reset has negligible performance impact. Scale the
         // paper's 128M-instruction interval to the measurement window.
@@ -635,10 +653,7 @@ pub fn fig8(template: &SimConfig, with_reset: bool) -> Experiment {
             let with = get(&reset_matrix, p.name, &policies[1]);
             rt.row(vec![
                 p.name.to_string(),
-                fixed(
-                    speedup_pct(no_reset.cycles as f64 / with.cycles as f64),
-                    3,
-                ),
+                fixed(speedup_pct(no_reset.cycles as f64 / with.cycles as f64), 3),
             ]);
         }
         tables.push(("§6 reset impact (P(8):S&E&R(1/32))".into(), rt));

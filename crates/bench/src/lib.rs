@@ -10,19 +10,30 @@
 //! * `EMISSARY_WARMUP_INSNS` — warmup per run (default 200k);
 //! * `EMISSARY_THREADS` — worker threads (default: available parallelism).
 //!
+//! Observability (see DESIGN.md "Telemetry & tracing"):
+//!
+//! * `EMISSARY_SAMPLE_INTERVAL` — per-job interval sampling period in
+//!   committed instructions (time series in `results/<name>.jsonl`);
+//! * `EMISSARY_TRACE_OUT` — directory receiving one cycle-stamped event
+//!   trace (`.jsonl`) per simulation job.
+//!
 //! The Criterion benches (`benches/figures.rs`, `benches/components.rs`)
 //! exercise scaled-down versions of every experiment plus component
 //! microbenchmarks.
 
 pub mod experiments;
 pub mod pool;
+pub mod results;
 pub mod scale;
 
-pub use pool::run_parallel;
-pub use scale::{measure_instrs, threads, warmup_instrs};
+pub use pool::{run_parallel, run_parallel_observed};
+pub use scale::{measure_instrs, sample_interval, threads, trace_out, warmup_instrs};
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use emissary_core::spec::PolicySpec;
-use emissary_sim::{run_sim, SimConfig, SimReport};
+use emissary_obs::{JsonlSink, Tracer};
+use emissary_sim::{run_sim_observed, ObsConfig, SimConfig, SimReport, SimRun};
 use emissary_workloads::Profile;
 
 /// The default experiment configuration: Alderlake-like model, TPLRU
@@ -55,8 +66,56 @@ impl Job {
 
     /// Runs the job.
     pub fn run(&self) -> SimReport {
-        run_sim(&self.profile, &self.config)
+        self.run_observed().report
     }
+
+    /// Runs the job with observability configured from the environment:
+    /// `EMISSARY_SAMPLE_INTERVAL` enables interval sampling and
+    /// `EMISSARY_TRACE_OUT=<dir>` streams the job's event trace to
+    /// `<dir>/<seq>_<benchmark>_<policy>.jsonl` (the sequence number
+    /// keeps files from jobs that share a benchmark and policy apart).
+    /// With neither variable set this is exactly [`Job::run`].
+    pub fn run_observed(&self) -> SimRun {
+        let tracer = match scale::trace_out() {
+            Some(dir) => {
+                let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+                let file = format!(
+                    "{seq:03}_{}_{}.jsonl",
+                    sanitize(self.profile.name),
+                    sanitize(&self.config.l2_policy.to_string())
+                );
+                let _ = std::fs::create_dir_all(&dir);
+                match JsonlSink::create(dir.join(file)) {
+                    Ok(sink) => Tracer::new(sink),
+                    Err(e) => {
+                        eprintln!("trace: cannot open sink under {}: {e}", dir.display());
+                        Tracer::disabled()
+                    }
+                }
+            }
+            None => Tracer::disabled(),
+        };
+        let obs = ObsConfig::new(tracer, scale::sample_interval());
+        run_sim_observed(&self.profile, &self.config, &obs)
+    }
+}
+
+/// Process-wide counter distinguishing trace files from identically
+/// configured jobs.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Replaces filesystem-hostile characters in policy notation
+/// (`P(8):S&E&R(1/32)`) for use in trace file names.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

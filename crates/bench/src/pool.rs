@@ -6,27 +6,44 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use emissary_sim::SimReport;
+use emissary_sim::{SimReport, SimRun};
 
 use crate::{scale, Job};
 
 /// Runs all jobs, using up to [`scale::threads`] workers, and returns
 /// reports in job order.
 pub fn run_parallel(jobs: &[Job]) -> Vec<SimReport> {
-    run_parallel_with(jobs, scale::threads())
+    run_parallel_observed(jobs)
+        .into_iter()
+        .map(|r| r.report)
+        .collect()
 }
 
 /// Runs all jobs on exactly `workers` threads.
 pub fn run_parallel_with(jobs: &[Job], workers: usize) -> Vec<SimReport> {
+    run_parallel_observed_with(jobs, workers)
+        .into_iter()
+        .map(|r| r.report)
+        .collect()
+}
+
+/// [`run_parallel`] keeping each run's observability by-products
+/// (interval samples), still in job order.
+pub fn run_parallel_observed(jobs: &[Job]) -> Vec<SimRun> {
+    run_parallel_observed_with(jobs, scale::threads())
+}
+
+/// Runs all jobs on exactly `workers` threads, keeping full [`SimRun`]s.
+pub fn run_parallel_observed_with(jobs: &[Job], workers: usize) -> Vec<SimRun> {
     if jobs.is_empty() {
         return Vec::new();
     }
     let workers = workers.clamp(1, jobs.len());
     let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<SimReport>> = (0..jobs.len()).map(|_| None).collect();
-    // Workers collect (index, report) pairs locally; results are written
+    let mut slots: Vec<Option<SimRun>> = (0..jobs.len()).map(|_| None).collect();
+    // Workers collect (index, run) pairs locally; results are written
     // back single-threaded after the scope joins.
-    let results: Vec<(usize, SimReport)> = std::thread::scope(|scope| {
+    let results: Vec<(usize, SimRun)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..workers {
             let cursor = &cursor;
@@ -37,7 +54,7 @@ pub fn run_parallel_with(jobs: &[Job], workers: usize) -> Vec<SimReport> {
                     if i >= jobs.len() {
                         break;
                     }
-                    local.push((i, jobs[i].run()));
+                    local.push((i, jobs[i].run_observed()));
                 }
                 local
             }));
@@ -70,7 +87,13 @@ mod tests {
             ..SimConfig::default()
         };
         (0..n)
-            .map(|_| Job::new(Profile::by_name("xapian").unwrap(), &cfg, PolicySpec::BASELINE))
+            .map(|_| {
+                Job::new(
+                    Profile::by_name("xapian").unwrap(),
+                    &cfg,
+                    PolicySpec::BASELINE,
+                )
+            })
             .collect()
     }
 
@@ -93,7 +116,10 @@ mod tests {
     fn parallel_equals_serial() {
         let jobs = quick_jobs(3);
         let serial: Vec<u64> = jobs.iter().map(|j| j.run().cycles).collect();
-        let parallel: Vec<u64> = run_parallel_with(&jobs, 3).iter().map(|r| r.cycles).collect();
+        let parallel: Vec<u64> = run_parallel_with(&jobs, 3)
+            .iter()
+            .map(|r| r.cycles)
+            .collect();
         assert_eq!(serial, parallel);
     }
 }

@@ -1,0 +1,179 @@
+//! Structured JSONL results emission shared by the experiment binaries.
+//!
+//! Every binary renders its tables to stdout (unchanged) and, through
+//! [`emit`], additionally writes `results/<name>.jsonl` containing:
+//!
+//! * one `meta` record — experiment name, title, run lengths, sampling
+//!   interval;
+//! * one `report` record per simulation (the full [`SimReport`]);
+//! * one `sample` record per interval sample (when
+//!   `EMISSARY_SAMPLE_INTERVAL` is set);
+//! * one `table_row` record per rendered table row, keyed by column
+//!   header — these carry exactly the values printed in the `.txt`
+//!   tables, so downstream tooling never has to re-derive or re-parse
+//!   the text output.
+//!
+//! Simulations executed through [`crate::experiments::run_matrix`] are
+//! collected automatically; binaries that drive [`crate::Job`] directly
+//! call [`log_run`] themselves. The log is process-global and drained by
+//! each [`emit`]/[`write_experiment`], matching the
+//! one-experiment-at-a-time structure of the binaries.
+
+use std::fs;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use emissary_obs::JsonObject;
+use emissary_sim::SimRun;
+
+use crate::experiments::Experiment;
+use crate::scale;
+
+static RUN_LOG: Mutex<Vec<SimRun>> = Mutex::new(Vec::new());
+
+/// Appends one run to the process-global run log.
+pub fn log_run(run: &SimRun) {
+    RUN_LOG.lock().expect("run log poisoned").push(run.clone());
+}
+
+/// Appends runs to the process-global run log (in the given order).
+pub fn log_runs(runs: &[SimRun]) {
+    RUN_LOG
+        .lock()
+        .expect("run log poisoned")
+        .extend_from_slice(runs);
+}
+
+/// Drains the process-global run log.
+pub fn take_logged_runs() -> Vec<SimRun> {
+    std::mem::take(&mut *RUN_LOG.lock().expect("run log poisoned"))
+}
+
+/// Renders `exp` to stdout and writes `results/<name>.jsonl` (reporting
+/// the outcome on stderr). The standard tail of every experiment binary.
+pub fn emit(name: &str, exp: &Experiment) {
+    print!("{}", exp.render());
+    match write_experiment(name, exp) {
+        Ok(path) => eprintln!("results: wrote {}", path.display()),
+        Err(e) => eprintln!("results: failed to write {name}.jsonl: {e}"),
+    }
+}
+
+/// Writes `results/<name>.jsonl` for `exp`, consuming the logged runs.
+pub fn write_experiment(name: &str, exp: &Experiment) -> io::Result<PathBuf> {
+    let runs = take_logged_runs();
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut out = BufWriter::new(fs::File::create(&path)?);
+    write_records(&mut out, name, exp, &runs)?;
+    out.flush()?;
+    Ok(path)
+}
+
+/// Streams the records for one experiment to `out` (see module docs for
+/// the schema). Separated from the file handling for testability.
+pub fn write_records(
+    out: &mut impl Write,
+    name: &str,
+    exp: &Experiment,
+    runs: &[SimRun],
+) -> io::Result<()> {
+    let mut meta = JsonObject::new();
+    meta.field_str("record", "meta")
+        .field_str("experiment", name)
+        .field_str("title", &exp.title)
+        .field_u64("warmup_instrs", scale::warmup_instrs())
+        .field_u64("measure_instrs", scale::measure_instrs())
+        .field_u64("sample_interval", scale::sample_interval().unwrap_or(0))
+        .field_u64("runs", runs.len() as u64);
+    writeln!(out, "{}", meta.finish())?;
+    for run in runs {
+        let mut obj = JsonObject::new();
+        obj.field_str("record", "report")
+            .field_raw("report", &run.report.to_json());
+        writeln!(out, "{}", obj.finish())?;
+        for sample in &run.samples {
+            let mut obj = JsonObject::new();
+            obj.field_str("record", "sample")
+                .field_str("benchmark", &run.report.benchmark)
+                .field_str("policy", &run.report.policy)
+                .field_raw("sample", &sample.to_json());
+            writeln!(out, "{}", obj.finish())?;
+        }
+    }
+    for (caption, table) in &exp.tables {
+        for row in table.rows() {
+            let mut obj = JsonObject::new();
+            obj.field_str("record", "table_row")
+                .field_str("table", caption);
+            for (header, cell) in table.headers().iter().zip(row) {
+                obj.field_str(header, cell);
+            }
+            writeln!(out, "{}", obj.finish())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emissary_core::spec::PolicySpec;
+    use emissary_sim::SimConfig;
+    use emissary_stats::table::Table;
+    use emissary_workloads::Profile;
+
+    fn tiny_run() -> SimRun {
+        let cfg = SimConfig {
+            warmup_instrs: 1_000,
+            measure_instrs: 4_000,
+            ..SimConfig::default()
+        }
+        .with_policy(PolicySpec::BASELINE);
+        let job = crate::Job {
+            profile: Profile::by_name("xapian").unwrap(),
+            config: cfg,
+        };
+        job.run_observed()
+    }
+
+    #[test]
+    fn records_cover_meta_reports_and_table_rows() {
+        let mut t = Table::with_headers(&["benchmark", "speedup"]);
+        t.row(vec!["xapian".into(), "1.25%".into()]);
+        let exp = Experiment {
+            title: "Test experiment".into(),
+            tables: vec![("caption".into(), t)],
+        };
+        let run = tiny_run();
+        let mut buf = Vec::new();
+        write_records(&mut buf, "test_exp", &exp, std::slice::from_ref(&run)).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // meta + 1 report (no samples without the env var) + 1 table row.
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"record\":\"meta\""));
+        assert!(lines[0].contains("\"experiment\":\"test_exp\""));
+        assert!(lines[1].contains("\"record\":\"report\""));
+        assert!(lines[1].contains(&format!("\"cycles\":{}", run.report.cycles)));
+        assert!(lines[2].contains("\"record\":\"table_row\""));
+        assert!(lines[2].contains("\"speedup\":\"1.25%\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn run_log_accumulates_and_drains() {
+        // The log is process-global and other tests may interleave with
+        // this one, so assert containment rather than exact counts.
+        let run = tiny_run();
+        log_run(&run);
+        log_runs(std::slice::from_ref(&run));
+        let drained = take_logged_runs();
+        let ours = drained.iter().filter(|r| r.report == run.report).count();
+        assert!(ours >= 2, "logged runs missing: {ours}");
+    }
+}

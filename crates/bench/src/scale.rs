@@ -1,6 +1,8 @@
-//! Run-length and parallelism scaling via environment variables.
+//! Run-length, parallelism, and observability scaling via environment
+//! variables.
 
 use std::env;
+use std::path::PathBuf;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     env::var(name)
@@ -25,6 +27,30 @@ pub fn measure_instrs() -> u64 {
 /// measurement boundary, as in the paper's checkpoint-restore protocol).
 pub fn warmup_instrs() -> u64 {
     env_u64("EMISSARY_WARMUP_INSNS", 4_000_000)
+}
+
+/// Interval-sampling period in committed instructions
+/// (`EMISSARY_SAMPLE_INTERVAL`; unset or `0` disables sampling). When
+/// set, every job snapshots IPC, L1I/L2I MPKI, starvation cycles, and
+/// the per-set priority-occupancy histogram at this period, and the
+/// samples land in the experiment's `results/<name>.jsonl`.
+pub fn sample_interval() -> Option<u64> {
+    env::var("EMISSARY_SAMPLE_INTERVAL")
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .filter(|&v| v > 0)
+}
+
+/// Event-trace output directory (`EMISSARY_TRACE_OUT`; unset disables
+/// tracing). When set, every job streams its cycle-stamped event trace
+/// (L2 fills/evictions/bypasses, priority marks, Algorithm 1 protection
+/// decisions, decode-starvation episodes) to one `.jsonl` file under
+/// this directory.
+pub fn trace_out() -> Option<PathBuf> {
+    env::var("EMISSARY_TRACE_OUT")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
 }
 
 /// Worker threads (`EMISSARY_THREADS`, default: available parallelism).
@@ -56,5 +82,12 @@ mod tests {
     #[test]
     fn env_parser_handles_underscores_and_garbage() {
         assert_eq!(env_u64("EMISSARY_TEST_UNSET_VAR_XYZ", 42), 42);
+    }
+
+    #[test]
+    fn observability_defaults_to_off() {
+        // Unset in the test environment: both knobs must read as disabled.
+        assert_eq!(sample_interval(), None);
+        assert_eq!(trace_out(), None);
     }
 }

@@ -2,9 +2,9 @@
 
 use crate::addr::set_index;
 use crate::config::CacheConfig;
-use crate::line::LineState;
 #[cfg(test)]
 use crate::line::LineKind;
+use crate::line::LineState;
 use crate::policy::{AccessInfo, ReplacementPolicy};
 use crate::stats::CacheStats;
 
@@ -63,6 +63,12 @@ impl Cache {
     /// The replacement policy's report name.
     pub fn policy_name(&self) -> String {
         self.policy.name()
+    }
+
+    /// Hands the replacement policy an observability tracer (see
+    /// [`ReplacementPolicy::set_tracer`]).
+    pub fn set_tracer(&mut self, tracer: emissary_obs::Tracer) {
+        self.policy.set_tracer(tracer);
     }
 
     /// Number of sets.

@@ -32,7 +32,10 @@ impl CacheConfig {
         let sets = cfg.sets();
         assert!(ways > 0, "{name}: ways must be > 0");
         assert!(sets > 0, "{name}: derived set count is zero");
-        assert!(sets.is_power_of_two(), "{name}: sets must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "{name}: sets must be a power of two"
+        );
         cfg
     }
 

@@ -27,6 +27,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use emissary_obs::{Level, TraceEvent, Tracer};
+
 use crate::cache::Cache;
 use crate::config::HierarchyConfig;
 use crate::line::{LineKind, LineState};
@@ -51,6 +53,17 @@ impl ServedBy {
     /// True when the request left the private L1.
     pub fn missed_l1(self) -> bool {
         !matches!(self, ServedBy::L1)
+    }
+
+    /// The observability [`Level`] naming this serving level.
+    pub fn level(self) -> Level {
+        match self {
+            ServedBy::L1 => Level::L1,
+            ServedBy::L2 => Level::L2,
+            ServedBy::L3 => Level::L3,
+            ServedBy::Memory => Level::Memory,
+            ServedBy::InFlight => Level::InFlight,
+        }
     }
 }
 
@@ -106,13 +119,19 @@ pub struct Hierarchy {
     /// the Figure 4 footprint metric).
     touched_instr: HashSet<u64>,
     stats: HierarchyStats,
+    /// Observability handle; disabled by default (one branch per emit site).
+    tracer: Tracer,
 }
 
 impl Hierarchy {
     /// Builds the hierarchy with the given L2 policy. L1s use `l1_policy`
     /// (TPLRU in the main evaluation, true LRU in Figure 1); the L3 always
     /// runs DRRIP (§5.1).
-    pub fn new(cfg: HierarchyConfig, l1_policy: PolicyKind, l2_policy: Box<dyn ReplacementPolicy>) -> Self {
+    pub fn new(
+        cfg: HierarchyConfig,
+        l1_policy: PolicyKind,
+        l2_policy: Box<dyn ReplacementPolicy>,
+    ) -> Self {
         let l1i = Cache::new(
             cfg.l1i.clone(),
             l1_policy.build(cfg.l1i.sets(), cfg.l1i.ways, cfg.seed ^ 1),
@@ -136,7 +155,22 @@ impl Hierarchy {
             inflight_data: HashMap::new(),
             touched_instr: HashSet::new(),
             stats: HierarchyStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Enables event tracing for this hierarchy and its L2 policy. The
+    /// tracer's cycle stamp is refreshed on every timed access, so events
+    /// emitted below the access API carry the right cycle.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.l2.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The hierarchy's tracer handle (disabled unless
+    /// [`set_tracer`](Self::set_tracer) was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Convenience constructor with TPLRU L1s (the paper's default).
@@ -173,6 +207,7 @@ impl Hierarchy {
     /// An instruction-side access (demand fetch or FDIP prefetch) to a line
     /// address at cycle `now`.
     pub fn access_instr(&mut self, line: u64, now: u64, is_prefetch: bool) -> MemAccess {
+        self.tracer.set_now(now);
         let first_touch = self.touched_instr.insert(line);
         // In-flight coalescing.
         if let Some(&(ready, source)) = self.inflight_instr.get(&line) {
@@ -205,16 +240,15 @@ impl Hierarchy {
             };
         }
         // L1I miss: descend to L2.
-        let (served_by, mut latency, installed) =
-            if self.l2.lookup(line, &info).is_some() {
-                (ServedBy::L2, self.cfg.l2.hit_latency, true)
-            } else {
-                let (src, lat, filled) = self.fetch_into_l2(line, &info);
-                if self.cfg.l2_nlp && !is_prefetch {
-                    self.nlp_into_l2(line + 1, LineKind::Instruction, now);
-                }
-                (src, lat, filled)
-            };
+        let (served_by, mut latency, installed) = if self.l2.lookup(line, &info).is_some() {
+            (ServedBy::L2, self.cfg.l2.hit_latency, true)
+        } else {
+            let (src, lat, filled) = self.fetch_into_l2(line, &info);
+            if self.cfg.l2_nlp && !is_prefetch {
+                self.nlp_into_l2(line + 1, LineKind::Instruction, now);
+            }
+            (src, lat, filled)
+        };
         // §5.6 ideal-L2 override: capacity/conflict (non-compulsory) L2
         // instruction misses are served at L2-hit latency.
         if self.cfg.ideal_l2_instr
@@ -248,7 +282,14 @@ impl Hierarchy {
     }
 
     /// A data-side access (load, store, or L1D NLP prefetch).
-    pub fn access_data(&mut self, line: u64, now: u64, is_write: bool, is_prefetch: bool) -> MemAccess {
+    pub fn access_data(
+        &mut self,
+        line: u64,
+        now: u64,
+        is_write: bool,
+        is_prefetch: bool,
+    ) -> MemAccess {
+        self.tracer.set_now(now);
         if let Some(&(ready, source)) = self.inflight_data.get(&line) {
             if now < ready {
                 if !is_prefetch {
@@ -281,16 +322,15 @@ impl Hierarchy {
                 needs_resolution: false,
             };
         }
-        let (served_by, latency, installed) =
-            if self.l2.lookup(line, &info).is_some() {
-                (ServedBy::L2, self.cfg.l2.hit_latency, true)
-            } else {
-                let (src, lat, filled) = self.fetch_into_l2(line, &info);
-                if self.cfg.l2_nlp && !is_prefetch {
-                    self.nlp_into_l2(line + 1, LineKind::Data, now);
-                }
-                (src, lat, filled)
-            };
+        let (served_by, latency, installed) = if self.l2.lookup(line, &info).is_some() {
+            (ServedBy::L2, self.cfg.l2.hit_latency, true)
+        } else {
+            let (src, lat, filled) = self.fetch_into_l2(line, &info);
+            if self.cfg.l2_nlp && !is_prefetch {
+                self.nlp_into_l2(line + 1, LineKind::Data, now);
+            }
+            (src, lat, filled)
+        };
         if installed {
             let out = self.l1d.fill(line, &info);
             if let Some(evicted) = out.evicted {
@@ -342,6 +382,15 @@ impl Hierarchy {
         let out = self.l2.fill(line, &fill_info);
         if out.filled() {
             self.l2.set_sfl(line, sfl);
+            self.tracer.emit_with(|cycle| TraceEvent::L2Fill {
+                cycle,
+                line,
+                source: served_by.level(),
+                high_priority: fill_info.high_priority,
+            });
+        } else {
+            self.tracer
+                .emit_with(|cycle| TraceEvent::L2Bypass { cycle, line });
         }
         if let Some(evicted) = out.evicted {
             self.handle_l2_eviction(evicted);
@@ -352,6 +401,11 @@ impl Hierarchy {
     /// Back-invalidates L1 copies (inclusion) and installs the victim into
     /// the exclusive L3, honouring the SFL MRU hint.
     fn handle_l2_eviction(&mut self, evicted: LineState) {
+        self.tracer.emit_with(|cycle| TraceEvent::L2Evict {
+            cycle,
+            line: evicted.tag,
+            high_priority: evicted.priority,
+        });
         let mut dirty = evicted.dirty;
         match evicted.kind {
             LineKind::Instruction => {
@@ -428,10 +482,19 @@ impl Hierarchy {
     /// in L1I the inclusive L2 copy is marked directly. Returns true if a
     /// copy was found.
     pub fn mark_instr_priority(&mut self, line: u64) -> bool {
-        if self.l1i.set_priority(line, true) {
-            return true;
+        let marked = if self.l1i.set_priority(line, true) {
+            true
+        } else {
+            self.l2.set_priority(line, true)
+        };
+        if marked {
+            self.tracer.emit_with(|cycle| TraceEvent::PriorityMark {
+                cycle,
+                line,
+                deferred: false,
+            });
         }
-        self.l2.set_priority(line, true)
+        marked
     }
 
     /// Applies the deferred insertion update for an instruction miss whose
@@ -440,6 +503,13 @@ impl Hierarchy {
         let info = AccessInfo::demand(LineKind::Instruction).with_priority(high);
         self.l1i.resolve_fill(line, &info);
         self.l2.resolve_fill(line, &info);
+        if high {
+            self.tracer.emit_with(|cycle| TraceEvent::PriorityMark {
+                cycle,
+                line,
+                deferred: true,
+            });
+        }
     }
 
     /// §6 reset mechanism: clears all priority bits in L1I and L2.
@@ -562,7 +632,12 @@ mod tests {
         assert!(h.l2.contains(victim));
         // SFL bit set on the L2 copy.
         let set = (victim as usize) & (h.l2.sets() - 1);
-        let sfl = h.l2.set_slice(set).iter().find(|l| l.tag == victim).unwrap().sfl;
+        let sfl =
+            h.l2.set_slice(set)
+                .iter()
+                .find(|l| l.tag == victim)
+                .unwrap()
+                .sfl;
         assert!(sfl);
         assert!(h.check_exclusivity());
         assert!(h.check_inclusion());
@@ -665,7 +740,10 @@ mod tests {
         let pol = PolicyKind::TreePlru.build(cfg.l2.sets(), cfg.l2.ways, 9);
         let mut h = Hierarchy::with_l2_policy(cfg, pol);
         h.access_instr(100, 0, false);
-        assert!(h.l2.contains(101), "NLP should have pulled line 101 into L2");
+        assert!(
+            h.l2.contains(101),
+            "NLP should have pulled line 101 into L2"
+        );
         assert!(!h.l1i.contains(101), "L2 NLP must not fill L1I");
         assert!(h.stats().nlp_issued >= 1);
     }
@@ -767,7 +845,10 @@ mod bypass_tests {
         let m = h.access_instr(100, 0, false);
         // Served from memory, full latency, but installed nowhere.
         assert_eq!(m.served_by, ServedBy::Memory);
-        assert!(!m.needs_resolution, "bypassed fills have nothing to resolve");
+        assert!(
+            !m.needs_resolution,
+            "bypassed fills have nothing to resolve"
+        );
         assert!(!h.l1i.contains(100), "L1I fill must be skipped (inclusion)");
         assert!(!h.l2.contains(100));
         assert!(h.check_inclusion());
@@ -802,12 +883,11 @@ mod bypass_tests {
             h.access_instr(l, t, false);
             t += 1000;
         }
-        let victim = h
-            .l3
-            .iter_valid()
-            .map(|l| l.tag)
-            .next()
-            .expect("one L2 victim in L3");
+        let victim =
+            h.l3.iter_valid()
+                .map(|l| l.tag)
+                .next()
+                .expect("one L2 victim in L3");
         h.access_instr(victim, t, false); // L3 hit -> SFL on L2 copy
         t += 1000;
         // Force it out of L2 again: it should land in L3 at MRU.

@@ -184,7 +184,7 @@ mod tests {
         let mut p = DclipPolicy::new(64, 4, 1);
         let lines = full_set(4);
         assert!(p.clip_on(1)); // initial bias: on
-        // Instruction misses hammering the CLIP leader turn it off.
+                               // Instruction misses hammering the CLIP leader turn it off.
         for _ in 0..600 {
             p.on_fill(0, 0, &lines, &AccessInfo::demand(LineKind::Instruction));
         }

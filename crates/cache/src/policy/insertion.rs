@@ -88,13 +88,7 @@ impl ReplacementPolicy for InsertionPolicy {
         }
     }
 
-    fn on_fill_resolved(
-        &mut self,
-        set: usize,
-        way: usize,
-        lines: &[LineState],
-        info: &AccessInfo,
-    ) {
+    fn on_fill_resolved(&mut self, set: usize, way: usize, lines: &[LineState], info: &AccessInfo) {
         // The line may have been evicted/replaced during the miss window.
         if !lines[way].valid {
             return;

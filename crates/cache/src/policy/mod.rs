@@ -145,6 +145,12 @@ pub trait ReplacementPolicy: std::fmt::Debug + Send {
     /// Called when a resident line's EMISSARY priority bit changes (e.g. the
     /// L1I communicates `P = 1` to the L2 copy on eviction). Default: no-op.
     fn on_priority_change(&mut self, _set: usize, _way: usize, _lines: &[LineState]) {}
+
+    /// Hands the policy an observability tracer so it can emit per-decision
+    /// events (the EMISSARY policy reports Algorithm 1 outcomes through
+    /// this). Default: the tracer is dropped — policies without
+    /// decision-level telemetry ignore it.
+    fn set_tracer(&mut self, _tracer: emissary_obs::Tracer) {}
 }
 
 /// Factory covering the prior-work policies implemented in this crate.

@@ -35,7 +35,10 @@ impl ReplacementPolicy for RandomPolicy {
             .filter(|(_, l)| l.valid)
             .map(|(w, _)| w)
             .collect();
-        assert!(!valid.is_empty(), "victim() requires at least one valid line");
+        assert!(
+            !valid.is_empty(),
+            "victim() requires at least one valid line"
+        );
         valid[self.rng.next_below(valid.len() as u64) as usize]
     }
 }

@@ -205,7 +205,7 @@ mod tests {
             p.on_fill(0, w, &lines, &info());
         }
         p.on_hit(0, 2, &lines, &info()); // rrpv[2] = 0
-        // All at 2 except way 2 at 0: aging makes ways 0,1,3 reach 3 first.
+                                         // All at 2 except way 2 at 0: aging makes ways 0,1,3 reach 3 first.
         let v = p.victim(0, &lines, &info());
         assert_ne!(v, 2);
     }

@@ -21,7 +21,9 @@ fn main() {
             total += 1;
             if matches!(m.served_by, ServedBy::L2) {
                 l2_hits += 1;
-                if h.l2.priority_of(l) == Some(true) { marked_hits += 1; }
+                if h.l2.priority_of(l) == Some(true) {
+                    marked_hits += 1;
+                }
             }
             if m.needs_resolution {
                 // resolve immediately; mark every 4th line

@@ -19,6 +19,7 @@
 
 use emissary_cache::line::LineState;
 use emissary_cache::policy::{AccessInfo, ReplacementPolicy};
+use emissary_obs::{TraceEvent, Tracer};
 
 use crate::dual::{DualRecency, RecencyFlavor};
 
@@ -33,6 +34,9 @@ pub struct EmissaryPolicy {
     /// lines bypass the cache was not found to be effective" — kept to
     /// reproduce that negative result.
     bypass_saturated: bool,
+    /// Observability handle; emits one `Protect` event per Algorithm 1
+    /// victim decision when enabled.
+    tracer: Tracer,
 }
 
 impl EmissaryPolicy {
@@ -61,6 +65,7 @@ impl EmissaryPolicy {
             recency: DualRecency::new(flavor, sets, ways),
             display_name,
             bypass_saturated: false,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -112,7 +117,8 @@ impl ReplacementPolicy for EmissaryPolicy {
         let high_count = high.count_ones() as usize;
         // Algorithm 1, with a fallback per class in case the preferred
         // class is empty (possible only via invalidations or N edge cases).
-        let choice = if high_count <= self.n_protect {
+        let protecting = high_count <= self.n_protect;
+        let choice = if protecting {
             self.recency
                 .lru_among(set, low, false)
                 .or_else(|| self.recency.lru_among(set, high, true))
@@ -121,6 +127,12 @@ impl ReplacementPolicy for EmissaryPolicy {
                 .lru_among(set, high, true)
                 .or_else(|| self.recency.lru_among(set, low, false))
         };
+        self.tracer.emit_with(|cycle| TraceEvent::Protect {
+            cycle,
+            set: set as u32,
+            high_lines: high_count as u32,
+            protected: protecting,
+        });
         choice.expect("victim() requires at least one valid line")
     }
 
@@ -139,6 +151,10 @@ impl ReplacementPolicy for EmissaryPolicy {
         // communicates P on eviction): refresh it in its new class's
         // structure so it starts as that class's MRU.
         self.recency.touch(set, way, lines[way].priority);
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -165,13 +181,7 @@ mod tests {
     }
 
     fn policy(n: usize, ways: usize) -> EmissaryPolicy {
-        EmissaryPolicy::new(
-            n,
-            RecencyFlavor::TrueLru,
-            1,
-            ways,
-            format!("P({n}):test"),
-        )
+        EmissaryPolicy::new(n, RecencyFlavor::TrueLru, 1, ways, format!("P({n}):test"))
     }
 
     fn info() -> AccessInfo {
@@ -262,7 +272,10 @@ mod tests {
             p.on_fill(0, w, &lines, &info());
         }
         let v = p.victim(0, &lines, &info());
-        assert!(v == 2 || v == 3, "data (low-priority) line expected, got {v}");
+        assert!(
+            v == 2 || v == 3,
+            "data (low-priority) line expected, got {v}"
+        );
     }
 
     #[test]

@@ -123,7 +123,10 @@ impl GhrpPolicy {
     fn pick(&self, set: usize, mask: u32) -> Option<usize> {
         let dead_mask = (0..self.ways)
             .filter(|&w| mask & (1 << w) != 0)
-            .filter(|&w| self.predictor.predicts_dead(self.meta[self.idx(set, w)].sig))
+            .filter(|&w| {
+                self.predictor
+                    .predicts_dead(self.meta[self.idx(set, w)].sig)
+            })
             .fold(0u32, |m, w| m | (1 << w));
         let effective = if dead_mask != 0 { dead_mask } else { mask };
         self.trees[set].victim_masked(effective)
@@ -240,7 +243,10 @@ impl EmissaryGhrpPolicy {
     fn pick(&self, set: usize, mask: u32, high: bool) -> Option<usize> {
         let dead_mask = (0..self.ways)
             .filter(|&w| mask & (1 << w) != 0)
-            .filter(|&w| self.predictor.predicts_dead(self.meta[self.idx(set, w)].sig))
+            .filter(|&w| {
+                self.predictor
+                    .predicts_dead(self.meta[self.idx(set, w)].sig)
+            })
             .fold(0u32, |m, w| m | (1 << w));
         if dead_mask != 0 {
             // Dead lines exist: evict the recency-coldest among them.
@@ -377,13 +383,8 @@ mod tests {
 
     #[test]
     fn combo_respects_algorithm_one_classes() {
-        let mut p = EmissaryGhrpPolicy::new(
-            2,
-            RecencyFlavor::TreePlru,
-            1,
-            4,
-            "P(2):S+GHRP".to_string(),
-        );
+        let mut p =
+            EmissaryGhrpPolicy::new(2, RecencyFlavor::TreePlru, 1, 4, "P(2):S+GHRP".to_string());
         let mut ls = lines(4);
         ls[0].priority = true;
         ls[1].priority = true;
@@ -392,7 +393,10 @@ mod tests {
             p.on_fill(0, w, &ls, &info());
         }
         let v = p.victim(0, &ls, &info());
-        assert!(ls[v].priority, "over-limit eviction must come from high class");
+        assert!(
+            ls[v].priority,
+            "over-limit eviction must come from high class"
+        );
 
         let mut ls2 = lines(4);
         ls2[0].priority = true; // 1 high <= N = 2
@@ -400,18 +404,16 @@ mod tests {
             p.on_fill(0, w, &ls2, &info());
         }
         let v = p.victim(0, &ls2, &info());
-        assert!(!ls2[v].priority, "under-limit eviction must come from low class");
+        assert!(
+            !ls2[v].priority,
+            "under-limit eviction must come from low class"
+        );
     }
 
     #[test]
     fn combo_prefers_dead_low_priority_lines() {
-        let mut p = EmissaryGhrpPolicy::new(
-            1,
-            RecencyFlavor::TrueLru,
-            1,
-            4,
-            "P(1):S+GHRP".to_string(),
-        );
+        let mut p =
+            EmissaryGhrpPolicy::new(1, RecencyFlavor::TrueLru, 1, 4, "P(1):S+GHRP".to_string());
         let mut ls = lines(4);
         ls[0].priority = true;
         for w in 0..4 {

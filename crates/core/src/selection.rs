@@ -254,7 +254,16 @@ mod tests {
 
     #[test]
     fn parse_display_roundtrip() {
-        for s in ["1", "0", "S", "E", "S&E", "R(1/32)", "S&E&R(1/32)", "S&R(1/2)"] {
+        for s in [
+            "1",
+            "0",
+            "S",
+            "E",
+            "S&E",
+            "R(1/32)",
+            "S&E&R(1/32)",
+            "S&R(1/2)",
+        ] {
             let e = SelectionExpr::parse(s).unwrap();
             assert_eq!(e.to_string(), s);
         }

@@ -116,7 +116,12 @@ impl PolicySpec {
     }
 
     /// Builds the L2 policy with the evaluation default (TPLRU recency).
-    pub fn build_l2_policy(&self, sets: usize, ways: usize, seed: u64) -> Box<dyn ReplacementPolicy> {
+    pub fn build_l2_policy(
+        &self,
+        sets: usize,
+        ways: usize,
+        seed: u64,
+    ) -> Box<dyn ReplacementPolicy> {
         self.build_l2_policy_with(RecencyFlavor::TreePlru, sets, ways, seed)
     }
 
@@ -150,19 +155,19 @@ impl PolicySpec {
             PolicySpec::Protect { n: 0, .. }
             | PolicySpec::ProtectBypass { n: 0, .. }
             | PolicySpec::ProtectGhrp { n: 0, .. } => plain(sets, ways, seed),
-            PolicySpec::Protect { n, .. } => Box::new(EmissaryPolicy::new(
+            PolicySpec::Protect { n, .. } => {
+                Box::new(EmissaryPolicy::new(n, flavor, sets, ways, self.to_string()))
+            }
+            PolicySpec::ProtectBypass { n, .. } => {
+                Box::new(EmissaryPolicy::new(n, flavor, sets, ways, self.to_string()).with_bypass())
+            }
+            PolicySpec::ProtectGhrp { n, .. } => Box::new(crate::ghrp::EmissaryGhrpPolicy::new(
                 n,
                 flavor,
                 sets,
                 ways,
                 self.to_string(),
             )),
-            PolicySpec::ProtectBypass { n, .. } => Box::new(
-                EmissaryPolicy::new(n, flavor, sets, ways, self.to_string()).with_bypass(),
-            ),
-            PolicySpec::ProtectGhrp { n, .. } => Box::new(
-                crate::ghrp::EmissaryGhrpPolicy::new(n, flavor, sets, ways, self.to_string()),
-            ),
             PolicySpec::Srrip => PolicyKind::Srrip.build(sets, ways, seed),
             PolicySpec::Brrip => PolicyKind::Brrip.build(sets, ways, seed),
             PolicySpec::Drrip => PolicyKind::Drrip.build(sets, ways, seed),

@@ -181,7 +181,8 @@ mod tests {
     fn breakdown_sums_to_total() {
         let p = EnergyParams::default();
         let b = p.estimate(&counts());
-        let manual = b.core_pj + b.l1_pj + b.l2_pj + b.l3_pj + b.dram_pj + b.frontend_pj + b.static_pj;
+        let manual =
+            b.core_pj + b.l1_pj + b.l2_pj + b.l3_pj + b.dram_pj + b.frontend_pj + b.static_pj;
         assert!((b.total() - manual).abs() < 1e-6);
         assert!(b.total() > 0.0);
         assert!((b.total_joules() - b.total() * 1e-12).abs() < 1e-18);

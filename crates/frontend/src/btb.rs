@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         let mut b = Btb::new(8, 2); // 4 sets, 2 ways
-        // These all map to set 0: start addresses differing by sets*4 bytes.
+                                    // These all map to set 0: start addresses differing by sets*4 bytes.
         let stride = 4 * 4; // sets=4, instr=4B
         b.insert(block(0));
         b.insert(block(stride));

@@ -54,8 +54,7 @@ impl<T> Ftq<T> {
 
     /// Whether `num_instrs` more instructions fit.
     pub fn can_push(&self, num_instrs: u32) -> bool {
-        self.entries.len() < self.max_entries
-            && self.cur_instrs + num_instrs <= self.max_instrs
+        self.entries.len() < self.max_entries && self.cur_instrs + num_instrs <= self.max_instrs
     }
 
     /// Enqueues a block; returns it back if the FTQ is full.

@@ -42,7 +42,12 @@ impl Ittage {
     }
 
     fn fold(history: u64, bits: u32, out_bits: u32) -> u64 {
-        let mut h = history & if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+        let mut h = history
+            & if bits >= 64 {
+                u64::MAX
+            } else {
+                (1 << bits) - 1
+            };
         let mut folded = 0u64;
         while h != 0 {
             folded ^= h & ((1 << out_bits) - 1);

@@ -30,8 +30,8 @@ pub mod ittage;
 pub mod ras;
 pub mod tage;
 
-pub use btb::{Btb, BtbEntry};
 pub use btb::BranchClass;
+pub use btb::{Btb, BtbEntry};
 pub use engine::{BlockDesc, FetchEngine, FrontendConfig, FrontendStats, Prediction};
 pub use fdip::PrefetchQueue;
 pub use ftq::{Ftq, FtqEntry};

@@ -53,7 +53,12 @@ impl Tage {
     }
 
     fn fold(history: u64, bits: u32, out_bits: u32) -> u64 {
-        let mut h = history & if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+        let mut h = history
+            & if bits >= 64 {
+                u64::MAX
+            } else {
+                (1 << bits) - 1
+            };
         let mut folded = 0u64;
         while h != 0 {
             folded ^= h & ((1 << out_bits) - 1);
@@ -272,7 +277,10 @@ mod tests {
         }
         // Roughly half mispredicted; anything above 30% proves it isn't
         // cheating (and below 70% that it isn't anti-learning).
-        assert!((N * 3 / 10..N * 7 / 10).contains(&misses), "misses = {misses}");
+        assert!(
+            (N * 3 / 10..N * 7 / 10).contains(&misses),
+            "misses = {misses}"
+        );
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The build environment cannot reach a cargo registry, so instead of
+//! `serde_json` this module provides exactly what JSONL emission needs: an
+//! append-only object builder with correct string escaping and guarded
+//! f64 formatting (non-finite values serialize as `null`, keeping every
+//! emitted line parseable).
+
+use std::fmt::Write as _;
+
+/// Escapes `s` into `buf` as JSON string *contents* (no surrounding
+/// quotes).
+pub fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Appends `v` to `buf` as a JSON number, or `null` for NaN/±infinity
+/// (bare non-finite tokens are not valid JSON).
+pub fn write_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(buf, "{v}");
+    } else {
+        buf.push_str("null");
+    }
+}
+
+/// An append-only JSON object builder producing one compact line.
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    empty: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            empty: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.empty {
+            self.buf.push(',');
+        }
+        self.empty = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field (value is escaped).
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn field_i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field; NaN/±infinity become `null`.
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        write_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an array-of-integers field.
+    pub fn field_u64_array(&mut self, key: &str, values: &[u64]) -> &mut Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Adds a pre-serialized JSON value verbatim (caller guarantees
+    /// validity — used to nest objects built with this module).
+    pub fn field_raw(&mut self, key: &str, raw_json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(raw_json);
+        self
+    }
+
+    /// Closes the object and returns the compact JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_chars() {
+        let mut buf = String::new();
+        escape_into(&mut buf, "a\"b\\c\nd\te\r\u{1}");
+        assert_eq!(buf, "a\\\"b\\\\c\\nd\\te\\r\\u0001");
+    }
+
+    #[test]
+    fn unicode_passes_through_unescaped() {
+        let mut buf = String::new();
+        escape_into(&mut buf, "héllo → 世界");
+        assert_eq!(buf, "héllo → 世界");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let mut buf = String::new();
+        write_f64(&mut buf, f64::NAN);
+        buf.push(' ');
+        write_f64(&mut buf, f64::INFINITY);
+        buf.push(' ');
+        write_f64(&mut buf, f64::NEG_INFINITY);
+        assert_eq!(buf, "null null null");
+    }
+
+    #[test]
+    fn finite_floats_round_trip() {
+        let mut buf = String::new();
+        write_f64(&mut buf, 1.25);
+        assert_eq!(buf, "1.25");
+        assert_eq!(buf.parse::<f64>().unwrap(), 1.25);
+        let mut buf = String::new();
+        write_f64(&mut buf, -0.0001);
+        assert_eq!(buf.parse::<f64>().unwrap(), -0.0001);
+    }
+
+    #[test]
+    fn object_builder_produces_compact_json() {
+        let mut obj = JsonObject::new();
+        obj.field_str("name", "fig\"1\"")
+            .field_u64("runs", 3)
+            .field_i64("delta", -2)
+            .field_f64("ipc", 1.5)
+            .field_f64("bad", f64::NAN)
+            .field_bool("ok", true)
+            .field_u64_array("hist", &[1, 2, 3]);
+        assert_eq!(
+            obj.finish(),
+            "{\"name\":\"fig\\\"1\\\"\",\"runs\":3,\"delta\":-2,\"ipc\":1.5,\
+             \"bad\":null,\"ok\":true,\"hist\":[1,2,3]}"
+        );
+    }
+
+    #[test]
+    fn empty_object_is_valid() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn raw_fields_nest_objects() {
+        let mut inner = JsonObject::new();
+        inner.field_u64("x", 1);
+        let inner = inner.finish();
+        let mut outer = JsonObject::new();
+        outer.field_raw("inner", &inner);
+        assert_eq!(outer.finish(), "{\"inner\":{\"x\":1}}");
+    }
+}

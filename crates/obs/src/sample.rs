@@ -1,0 +1,218 @@
+//! Interval sampling: Figure-8-style time series over a measurement
+//! window.
+//!
+//! The simulator's counters are cumulative; [`SampleSeries`] differences
+//! consecutive snapshots so each [`IntervalSample`] describes one
+//! interval's behavior (per-interval IPC and MPKI, not running averages).
+
+use crate::json::JsonObject;
+
+/// Splits a measurement window of `total` committed instructions into
+/// per-interval chunk sizes.
+///
+/// The final chunk is short when `total` is not a multiple of `interval`;
+/// a zero-length window yields no chunks; `interval == 0` (sampling
+/// disabled) also yields no chunks — callers run the window in one piece.
+pub fn interval_chunks(total: u64, interval: u64) -> Vec<u64> {
+    if total == 0 || interval == 0 {
+        return Vec::new();
+    }
+    let mut chunks = Vec::with_capacity((total / interval + 1) as usize);
+    let mut remaining = total;
+    while remaining > 0 {
+        let chunk = remaining.min(interval);
+        chunks.push(chunk);
+        remaining -= chunk;
+    }
+    chunks
+}
+
+/// Cumulative counters snapshotted at an interval boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleCounters {
+    /// Committed instructions since the measurement window opened.
+    pub instructions: u64,
+    /// Cycles since the measurement window opened.
+    pub cycles: u64,
+    /// L1I demand misses.
+    pub l1i_misses: u64,
+    /// L2 instruction misses.
+    pub l2i_misses: u64,
+    /// Cycles decode starved with a backend ready to accept.
+    pub starvation_cycles: u64,
+}
+
+/// One interval of the time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalSample {
+    /// Zero-based interval index.
+    pub index: u64,
+    /// Cumulative committed instructions at the end of the interval.
+    pub instructions: u64,
+    /// Cumulative cycles at the end of the interval.
+    pub cycles: u64,
+    /// Instructions committed within the interval.
+    pub delta_instructions: u64,
+    /// Cycles elapsed within the interval.
+    pub delta_cycles: u64,
+    /// IPC over the interval.
+    pub ipc: f64,
+    /// L1I misses per kilo-instruction over the interval.
+    pub l1i_mpki: f64,
+    /// L2 instruction misses per kilo-instruction over the interval.
+    pub l2i_mpki: f64,
+    /// Starvation cycles within the interval.
+    pub starvation_cycles: u64,
+    /// Per-set high-priority occupancy histogram at the boundary
+    /// (bucket i = sets holding i high-priority lines, bucket 8 = 8+).
+    pub priority_histogram: [u64; 9],
+}
+
+impl IntervalSample {
+    /// Serializes the sample as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("index", self.index)
+            .field_u64("instructions", self.instructions)
+            .field_u64("cycles", self.cycles)
+            .field_u64("delta_instructions", self.delta_instructions)
+            .field_u64("delta_cycles", self.delta_cycles)
+            .field_f64("ipc", self.ipc)
+            .field_f64("l1i_mpki", self.l1i_mpki)
+            .field_f64("l2i_mpki", self.l2i_mpki)
+            .field_u64("starvation_cycles", self.starvation_cycles)
+            .field_u64_array("priority_histogram", &self.priority_histogram);
+        obj.finish()
+    }
+}
+
+/// Accumulates boundary snapshots into per-interval samples.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSeries {
+    prev: SampleCounters,
+    samples: Vec<IntervalSample>,
+}
+
+impl SampleSeries {
+    /// An empty series whose first interval is measured from zeroed
+    /// counters (the start of the measurement window).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the snapshot taken at an interval boundary.
+    pub fn record(&mut self, counters: SampleCounters, priority_histogram: [u64; 9]) {
+        let delta_instructions = counters.instructions - self.prev.instructions;
+        let delta_cycles = counters.cycles - self.prev.cycles;
+        let per_kilo = |misses: u64| {
+            if delta_instructions == 0 {
+                0.0
+            } else {
+                misses as f64 * 1000.0 / delta_instructions as f64
+            }
+        };
+        self.samples.push(IntervalSample {
+            index: self.samples.len() as u64,
+            instructions: counters.instructions,
+            cycles: counters.cycles,
+            delta_instructions,
+            delta_cycles,
+            ipc: if delta_cycles == 0 {
+                0.0
+            } else {
+                delta_instructions as f64 / delta_cycles as f64
+            },
+            l1i_mpki: per_kilo(counters.l1i_misses - self.prev.l1i_misses),
+            l2i_mpki: per_kilo(counters.l2i_misses - self.prev.l2i_misses),
+            starvation_cycles: counters.starvation_cycles - self.prev.starvation_cycles,
+            priority_histogram,
+        });
+        self.prev = counters;
+    }
+
+    /// The samples recorded so far.
+    pub fn samples(&self) -> &[IntervalSample] {
+        &self.samples
+    }
+
+    /// Consumes the series into its samples.
+    pub fn into_samples(self) -> Vec<IntervalSample> {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_window_exactly() {
+        assert_eq!(interval_chunks(12, 4), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn last_chunk_is_short_when_not_divisible() {
+        assert_eq!(interval_chunks(10, 4), vec![4, 4, 2]);
+        assert_eq!(interval_chunks(3, 4), vec![3]);
+    }
+
+    #[test]
+    fn zero_length_window_has_no_chunks() {
+        assert!(interval_chunks(0, 4).is_empty());
+    }
+
+    #[test]
+    fn zero_interval_disables_sampling() {
+        assert!(interval_chunks(100, 0).is_empty());
+    }
+
+    #[test]
+    fn series_differences_cumulative_counters() {
+        let mut series = SampleSeries::new();
+        series.record(
+            SampleCounters {
+                instructions: 1000,
+                cycles: 2000,
+                l1i_misses: 10,
+                l2i_misses: 4,
+                starvation_cycles: 100,
+            },
+            [0; 9],
+        );
+        series.record(
+            SampleCounters {
+                instructions: 2000,
+                cycles: 6000,
+                l1i_misses: 30,
+                l2i_misses: 5,
+                starvation_cycles: 150,
+            },
+            [1; 9],
+        );
+        let s = series.samples();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].ipc, 0.5);
+        assert_eq!(s[0].l1i_mpki, 10.0);
+        assert_eq!(s[0].l2i_mpki, 4.0);
+        assert_eq!(s[0].starvation_cycles, 100);
+        assert_eq!(s[1].index, 1);
+        assert_eq!(s[1].delta_instructions, 1000);
+        assert_eq!(s[1].delta_cycles, 4000);
+        assert_eq!(s[1].ipc, 0.25);
+        assert_eq!(s[1].l1i_mpki, 20.0);
+        assert_eq!(s[1].l2i_mpki, 1.0);
+        assert_eq!(s[1].starvation_cycles, 50);
+        assert_eq!(s[1].priority_histogram, [1; 9]);
+    }
+
+    #[test]
+    fn zero_deltas_guard_division() {
+        let mut series = SampleSeries::new();
+        series.record(SampleCounters::default(), [0; 9]);
+        let s = &series.samples()[0];
+        assert_eq!(s.ipc, 0.0);
+        assert_eq!(s.l1i_mpki, 0.0);
+        let json = s.to_json();
+        assert!(json.contains("\"ipc\":0"));
+    }
+}

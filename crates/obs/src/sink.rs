@@ -1,0 +1,197 @@
+//! Trace sinks: where emitted events go.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceEvent;
+
+/// A destination for trace events.
+///
+/// `Send` is required because the tracer handle is shared with the
+/// replacement policy, whose trait object must be `Send`.
+pub trait TraceSink: Send {
+    /// Records one event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Flushes any buffered output (default: nothing to flush).
+    fn flush(&mut self) {}
+}
+
+/// Discards every event. The default when tracing is disabled — the
+/// tracer handle short-circuits before any event is even constructed, so
+/// this sink exists for explicitness in tests and plumbing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// The bounded storage behind a [`RingSink`].
+#[derive(Debug)]
+pub struct RingBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    total: u64,
+}
+
+impl RingBuffer {
+    fn new(capacity: usize) -> Self {
+        Self {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// The retained events, oldest first (at most `capacity`).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded, including ones the ring dropped.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Keeps the most recent `capacity` events in memory.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buffer: Arc<Mutex<RingBuffer>>,
+}
+
+impl RingSink {
+    /// A ring retaining at most `capacity` events (capacity 0 counts
+    /// events without retaining any).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buffer: Arc::new(Mutex::new(RingBuffer::new(capacity))),
+        }
+    }
+
+    /// A handle to the shared buffer, for inspection after (or during) a
+    /// run; clone it before handing the sink to a tracer.
+    pub fn buffer(&self) -> Arc<Mutex<RingBuffer>> {
+        Arc::clone(&self.buffer)
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: TraceEvent) {
+        let mut buf = self.buffer.lock().expect("ring buffer poisoned");
+        buf.total += 1;
+        if buf.capacity == 0 {
+            return;
+        }
+        if buf.events.len() == buf.capacity {
+            buf.events.pop_front();
+        }
+        buf.events.push_back(event);
+    }
+}
+
+/// Streams each event as one JSON line to a writer.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a `.jsonl` file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: TraceEvent) {
+        // I/O errors while tracing must not kill the simulation; drop the
+        // line instead.
+        let _ = writeln!(self.out, "{}", event.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::L2Bypass { cycle, line: cycle }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_all() {
+        let mut sink = RingSink::new(3);
+        let buffer = sink.buffer();
+        for c in 0..10 {
+            sink.record(ev(c));
+        }
+        let buf = buffer.lock().unwrap();
+        assert_eq!(buf.total_recorded(), 10);
+        assert_eq!(buf.len(), 3);
+        let cycles: Vec<u64> = buf.events().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_only_counts() {
+        let mut sink = RingSink::new(0);
+        let buffer = sink.buffer();
+        sink.record(ev(1));
+        let buf = buffer.lock().unwrap();
+        assert_eq!(buf.total_recorded(), 1);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parseable_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(ev(42));
+        sink.record(TraceEvent::StarveStart {
+            cycle: 50,
+            line: 9,
+            source: Level::Memory,
+        });
+        sink.flush();
+        let text = String::from_utf8(sink.out.clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"event\":\"l2_bypass\""));
+        assert!(lines[1].contains("\"source\":\"memory\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy for `Option<S::Value>` (see [`of`]).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generates `Some` three times out of four, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::from_name("option-tests");
+        let s = of(0u32..100);
+        let values: Vec<_> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(values.iter().any(|v| v.is_none()));
+        assert!(values.iter().any(|v| v.is_some()));
+    }
+}

@@ -1,0 +1,225 @@
+//! The [`Strategy`] trait and the combinators the workspace tests use.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy boxed behind its value type (what [`boxed`] returns).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// Type-erases a strategy so heterogeneous branches (e.g. in
+/// [`prop_oneof!`](crate::prop_oneof)) share one type.
+pub fn boxed<S>(strategy: S) -> BoxedStrategy<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A weighted choice among boxed strategies (built by
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<T> {
+    variants: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` pairs; weights must not
+    /// all be zero.
+    pub fn new(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(
+            variants.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! requires at least one positive weight"
+        );
+        Self { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.variants.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (weight, strategy) in &self.variants {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+macro_rules! unsigned_range_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $ty
+                }
+            }
+        )+
+    };
+}
+
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $ty)
+                }
+            }
+        )+
+    };
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A 0);
+tuple_strategy!(A 0, B 1);
+tuple_strategy!(A 0, B 1, C 2);
+tuple_strategy!(A 0, B 1, C 2, D 3);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let v = (3u32..17).generate(&mut r);
+            assert!((3..17).contains(&v));
+            let s = (-5i64..6).generate(&mut r);
+            assert!((-5..6).contains(&s));
+            let f = (0.25f64..0.5).generate(&mut r);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut r = rng();
+        let s = (0u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+        assert_eq!(Just(7u8).generate(&mut r), 7);
+    }
+
+    #[test]
+    fn union_respects_zero_weights() {
+        let mut r = rng();
+        let u = Union::new(vec![(0, boxed(Just(1u8))), (5, boxed(Just(2u8)))]);
+        for _ in 0..100 {
+            assert_eq!(u.generate(&mut r), 2);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = (0u32..4, 10u32..14, 0.0f64..1.0).generate(&mut r);
+        assert!(a < 4);
+        assert!((10..14).contains(&b));
+        assert!((0.0..1.0).contains(&c));
+    }
+}

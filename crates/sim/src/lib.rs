@@ -42,4 +42,4 @@ pub mod runner;
 
 pub use config::{CoreConfig, SimConfig};
 pub use report::SimReport;
-pub use runner::run_sim;
+pub use runner::{run_sim, run_sim_observed, ObsConfig, SimRun};

@@ -39,6 +39,7 @@ use emissary_core::reset::ResetSchedule;
 use emissary_core::selection::{MissFlags, SelectionExpr};
 use emissary_frontend::ftq::{Ftq, FtqEntry};
 use emissary_frontend::{BlockDesc, BranchClass, FetchEngine, PrefetchQueue};
+use emissary_obs::{SampleCounters, TraceEvent, Tracer};
 use emissary_stats::reuse::{ReuseBucket, ReuseTracker};
 use emissary_workloads::program::TermClass;
 use emissary_workloads::walker::{DynBlock, DynInstr, DynOp, Walker};
@@ -147,6 +148,11 @@ pub struct Machine<'p> {
     reuse: Option<ReuseTracker>,
     pub(crate) stats: WindowStats,
     total_committed: u64,
+    /// Observability handle; disabled by default.
+    tracer: Tracer,
+    /// Open decode-starvation episode: (start cycle, blamed line, level).
+    /// Tracked only while tracing is enabled.
+    starve_episode: Option<(u64, u64, ServedBy)>,
 }
 
 impl<'p> Machine<'p> {
@@ -189,8 +195,20 @@ impl<'p> Machine<'p> {
             reuse: cfg.track_reuse.then(ReuseTracker::new),
             stats: WindowStats::default(),
             total_committed: 0,
+            tracer: Tracer::disabled(),
+            starve_episode: None,
             cfg: cfg.clone(),
         }
+    }
+
+    /// Enables event tracing: the tracer is shared with the hierarchy and
+    /// the L2 policy, and the machine stamps it with the current cycle and
+    /// emits decode-starvation episode events. Call before running;
+    /// tracing must never change simulated behavior (a regression test
+    /// holds this).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.hierarchy.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// The memory hierarchy (for invariant checks and inspection).
@@ -233,6 +251,7 @@ impl<'p> Machine<'p> {
 
     /// One cycle.
     pub fn step(&mut self) {
+        self.tracer.set_now(self.now);
         self.commit();
         self.issue();
         self.decode_dispatch();
@@ -320,7 +339,8 @@ impl<'p> Machine<'p> {
                 }
                 OpClass::Store(addr) => {
                     // Write-allocate now; retire through the store buffer.
-                    self.hierarchy.access_data(line_of(addr), self.now, true, false);
+                    self.hierarchy
+                        .access_data(line_of(addr), self.now, true, false);
                     self.now + 1
                 }
             };
@@ -332,8 +352,7 @@ impl<'p> Machine<'p> {
             self.comp_time[(seq as usize) & (COMP_RING - 1)] = completed_at;
             if mispredict {
                 // The mispredicted branch resolves: schedule the re-steer.
-                self.resteer_done_at =
-                    Some(completed_at + self.cfg.core.resteer_penalty);
+                self.resteer_done_at = Some(completed_at + self.cfg.core.resteer_penalty);
             }
             issued += 1;
             self.stats.issued += 1;
@@ -407,9 +426,11 @@ impl<'p> Machine<'p> {
         }
         // Starvation: decode made zero progress, the back-end had room, and
         // the head instruction exists but its line is still in flight.
+        let mut starved_on: Option<(u64, ServedBy)> = None;
         if decoded == 0 && backend_can_accept {
             if let Some(head) = self.decode_queue.front() {
                 if head.ready_at > self.now {
+                    starved_on = Some((head.line, head.source));
                     let empty_iq = self.iq.is_empty();
                     self.stats.starvation_cycles += 1;
                     if empty_iq {
@@ -441,6 +462,30 @@ impl<'p> Machine<'p> {
                         ReuseBucket::Long => self.stats.reuse_attr.starve_long += 1,
                     }
                 }
+            }
+        }
+        // Episode bookkeeping is observability-only: it reads simulator
+        // state but never writes it, so tracing cannot perturb a run.
+        if self.tracer.enabled() {
+            match (starved_on, self.starve_episode) {
+                (Some((line, source)), None) => {
+                    self.starve_episode = Some((self.now, line, source));
+                    self.tracer.emit_with(|cycle| TraceEvent::StarveStart {
+                        cycle,
+                        line,
+                        source: source.level(),
+                    });
+                }
+                (None, Some((start_cycle, line, source))) => {
+                    self.starve_episode = None;
+                    self.tracer.emit_with(|cycle| TraceEvent::StarveEnd {
+                        cycle,
+                        line,
+                        source: source.level(),
+                        start_cycle,
+                    });
+                }
+                _ => {}
             }
         }
     }
@@ -680,22 +725,34 @@ impl<'p> Machine<'p> {
         )
     }
 
-    /// Figure 8: clamped per-set high-priority line counts.
-    pub fn priority_histogram(&self, buckets: usize) -> Vec<u64> {
-        let mut hist = vec![0u64; buckets];
+    /// Figure 8: per-set high-priority line counts, clamped to 8+. Nine
+    /// buckets (0..=8) cover the 8-way L2 exactly; the paper never
+    /// protects more than `ways` lines per set, so counts above 8 would
+    /// indicate a bookkeeping bug and are folded into the last bucket.
+    pub fn priority_histogram(&self) -> [u64; 9] {
+        let mut hist = [0u64; 9];
         for count in self.hierarchy.l2.priority_counts_per_set() {
-            let idx = (count as usize).min(buckets - 1);
+            let idx = (count as usize).min(hist.len() - 1);
             hist[idx] += 1;
         }
         hist
     }
 
+    /// Cumulative window counters for interval sampling (all relative to
+    /// the last [`Machine::reset_window`]).
+    pub fn sample_counters(&self) -> SampleCounters {
+        SampleCounters {
+            instructions: self.stats.committed,
+            cycles: self.stats.cycles,
+            l1i_misses: self.hierarchy.l1i.stats().instr_stream_misses(),
+            l2i_misses: self.hierarchy.l2.stats().instr_stream_misses(),
+            starvation_cycles: self.stats.starvation_cycles,
+        }
+    }
+
     /// The reuse tracker's aggregate counts (empty when disabled).
     pub fn reuse_counts(&self) -> emissary_stats::reuse::ReuseCounts {
-        self.reuse
-            .as_ref()
-            .map(|t| t.counts())
-            .unwrap_or_default()
+        self.reuse.as_ref().map(|t| t.counts()).unwrap_or_default()
     }
 }
 
@@ -744,7 +801,11 @@ mod tests {
             let walker = Walker::new(&program, 1);
             let mut m = Machine::new(walker, &quick_cfg());
             m.run_instrs(20_000);
-            (m.now(), m.stats.starvation_cycles, m.stats.branch_mispredicts)
+            (
+                m.now(),
+                m.stats.starvation_cycles,
+                m.stats.branch_mispredicts,
+            )
         };
         assert_eq!(run(), run());
     }
@@ -784,7 +845,7 @@ mod tests {
         let cfg = quick_cfg().with_policy("P(8):S".parse().unwrap());
         let mut m = Machine::new(walker, &cfg);
         m.run_instrs(50_000);
-        let hist = m.priority_histogram(9);
+        let hist = m.priority_histogram();
         let protected_sets: u64 = hist[1..].iter().sum();
         assert!(protected_sets > 0, "no set ever acquired a P=1 line");
     }
@@ -795,7 +856,7 @@ mod tests {
         let walker = Walker::new(&program, 1);
         let mut m = Machine::new(walker, &quick_cfg());
         m.run_instrs(20_000);
-        let hist = m.priority_histogram(9);
+        let hist = m.priority_histogram();
         assert_eq!(hist[1..].iter().sum::<u64>(), 0);
     }
 
@@ -875,7 +936,10 @@ mod scenario_tests {
         let walker = Walker::new(&program, 3);
         let mut m = Machine::new(walker, &quick_cfg());
         m.run_instrs(30_000);
-        assert!(m.stats.branch_mispredicts > 0, "hard branches must mispredict");
+        assert!(
+            m.stats.branch_mispredicts > 0,
+            "hard branches must mispredict"
+        );
         // The machine kept committing, so every re-steer resolved.
         assert!(m.total_committed() >= 30_000);
     }

@@ -66,9 +66,11 @@ pub struct SimReport {
     pub reuse: ReuseCounts,
     /// Figure 2 starvation/miss attribution by reuse bucket.
     pub reuse_attribution: ReuseAttribution,
-    /// Figure 8: per-set high-priority line count distribution (9 buckets,
-    /// 0..=8+, measured at end of simulation).
-    pub priority_histogram: Vec<u64>,
+    /// Figure 8: per-set high-priority line count distribution (exactly 9
+    /// buckets, 0..=8+, measured at end of simulation). A fixed-size array
+    /// because the bucket count is architectural (8-way L2 + one
+    /// overflow bucket), not data-dependent.
+    pub priority_histogram: [u64; 9],
     /// §5.6 ideal-mode misses served at hit latency.
     pub ideal_l2_saves: u64,
     /// L2 hits landing on high-priority (`P = 1`) lines.
@@ -118,6 +120,49 @@ impl SimReport {
     pub fn speedup_pct_vs(&self, baseline: &SimReport) -> f64 {
         emissary_stats::summary::speedup_pct(baseline.cycles as f64 / self.cycles as f64)
     }
+
+    /// Serializes the report as one JSON object (no trailing newline),
+    /// suitable for a `.jsonl` results stream.
+    pub fn to_json(&self) -> String {
+        let mut obj = emissary_obs::JsonObject::new();
+        obj.field_str("benchmark", &self.benchmark)
+            .field_str("policy", &self.policy)
+            .field_u64("cycles", self.cycles)
+            .field_u64("committed", self.committed)
+            .field_u64("decoded", self.decoded)
+            .field_u64("issued", self.issued)
+            .field_f64("ipc", self.ipc())
+            .field_f64("l1i_mpki", self.l1i_mpki)
+            .field_f64("l1d_mpki", self.l1d_mpki)
+            .field_f64("l2i_mpki", self.l2i_mpki)
+            .field_f64("l2d_mpki", self.l2d_mpki)
+            .field_f64("l3_mpki", self.l3_mpki)
+            .field_f64("branch_mpki", self.branch_mpki)
+            .field_u64("starvation_cycles", self.starvation_cycles)
+            .field_u64(
+                "starvation_empty_iq_cycles",
+                self.starvation_empty_iq_cycles,
+            )
+            .field_u64_array("starvation_by_source", &self.starvation_by_source)
+            .field_u64("fe_stall_cycles", self.fe_stall_cycles)
+            .field_u64("be_stall_cycles", self.be_stall_cycles)
+            .field_u64("footprint_bytes", self.footprint_bytes)
+            .field_u64_array(
+                "reuse_counts",
+                &[
+                    self.reuse.short,
+                    self.reuse.mid,
+                    self.reuse.long,
+                    self.reuse.cold,
+                ],
+            )
+            .field_u64_array("priority_histogram", &self.priority_histogram)
+            .field_u64("ideal_l2_saves", self.ideal_l2_saves)
+            .field_u64("l2_priority_hits", self.l2_priority_hits)
+            .field_u64("priority_marks", self.priority_marks)
+            .field_f64("energy_pj", self.energy_pj);
+        obj.finish()
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +191,7 @@ mod tests {
             footprint_bytes: 0,
             reuse: ReuseCounts::default(),
             reuse_attribution: ReuseAttribution::default(),
-            priority_histogram: vec![0; 9],
+            priority_histogram: [0; 9],
             ideal_l2_saves: 0,
             l2_priority_hits: 0,
             priority_marks: 0,

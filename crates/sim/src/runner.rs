@@ -1,6 +1,7 @@
 //! Top-level simulation driver: warmup, measurement, report assembly.
 
 use emissary_energy::{ActivityCounts, EnergyParams};
+use emissary_obs::{interval_chunks, IntervalSample, SampleSeries, Tracer};
 use emissary_stats::summary::mpki;
 use emissary_workloads::walker::Walker;
 use emissary_workloads::Profile;
@@ -9,20 +10,88 @@ use crate::config::SimConfig;
 use crate::machine::Machine;
 use crate::report::SimReport;
 
+/// Observability options for a run. The default is fully passive: a
+/// disabled tracer and no interval sampling, making
+/// [`run_sim_observed`] behave exactly like [`run_sim`].
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Event tracer shared with the machine, hierarchy, and L2 policy.
+    pub tracer: Tracer,
+    /// Snapshot interval in committed instructions (Figure-8-style time
+    /// series). `None` or `Some(0)` disables sampling.
+    pub sample_interval: Option<u64>,
+}
+
+impl ObsConfig {
+    /// Builds from a tracer plus optional interval.
+    pub fn new(tracer: Tracer, sample_interval: Option<u64>) -> Self {
+        Self {
+            tracer,
+            sample_interval,
+        }
+    }
+}
+
+/// A simulation result with its observability by-products.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// Aggregate report over the whole measurement window.
+    pub report: SimReport,
+    /// Per-interval samples (empty when sampling was disabled).
+    pub samples: Vec<IntervalSample>,
+}
+
 /// Runs one benchmark under one configuration: builds the program, warms
 /// up for `cfg.warmup_instrs` committed instructions, measures for
 /// `cfg.measure_instrs`, and assembles a [`SimReport`] for the measurement
 /// window (mirroring §5.1's warmup/measurement protocol).
 pub fn run_sim(profile: &Profile, cfg: &SimConfig) -> SimReport {
+    run_sim_observed(profile, cfg, &ObsConfig::default()).report
+}
+
+/// [`run_sim`] with observability: events flow into `obs.tracer` and, when
+/// `obs.sample_interval` is set, the measurement window is snapshotted
+/// every that-many committed instructions.
+///
+/// Sampling pauses the run at interval boundaries by targeting the same
+/// cumulative committed-instruction counts a single uninterrupted
+/// [`Machine::run_instrs`] call would pass through, so the cycle-by-cycle
+/// execution is bit-identical to an unsampled run (a regression test
+/// holds this).
+pub fn run_sim_observed(profile: &Profile, cfg: &SimConfig, obs: &ObsConfig) -> SimRun {
     let program = profile.build();
     let walker = Walker::new(&program, profile.seed);
     let mut machine = Machine::new(walker, cfg);
+    if obs.tracer.enabled() {
+        machine.set_tracer(obs.tracer.clone());
+    }
     if cfg.warmup_instrs > 0 {
         machine.run_instrs(cfg.warmup_instrs);
     }
     machine.reset_window();
-    machine.run_instrs(cfg.measure_instrs);
-    assemble_report(profile, cfg, &machine)
+    let interval = obs.sample_interval.unwrap_or(0);
+    let samples = if interval > 0 {
+        let base = machine.total_committed();
+        let mut series = SampleSeries::new();
+        let mut boundary = base;
+        for chunk in interval_chunks(cfg.measure_instrs, interval) {
+            // Absolute targets: commit-width overshoot at one boundary
+            // must not push later boundaries (and the window end) past
+            // where an unchunked run would stop.
+            boundary += chunk;
+            machine.run_instrs(boundary.saturating_sub(machine.total_committed()));
+            series.record(machine.sample_counters(), machine.priority_histogram());
+        }
+        series.into_samples()
+    } else {
+        machine.run_instrs(cfg.measure_instrs);
+        Vec::new()
+    };
+    obs.tracer.flush();
+    SimRun {
+        report: assemble_report(profile, cfg, &machine),
+        samples,
+    }
 }
 
 fn assemble_report(profile: &Profile, cfg: &SimConfig, m: &Machine<'_>) -> SimReport {
@@ -68,7 +137,7 @@ fn assemble_report(profile: &Profile, cfg: &SimConfig, m: &Machine<'_>) -> SimRe
         footprint_bytes: h.instr_footprint_lines() as u64 * 64,
         reuse: m.reuse_counts(),
         reuse_attribution: s.reuse_attr,
-        priority_histogram: m.priority_histogram(17),
+        priority_histogram: m.priority_histogram(),
         ideal_l2_saves: hs.ideal_l2_saves,
         l2_priority_hits: l2.priority_hits,
         priority_marks: s.priority_marks,
@@ -81,6 +150,7 @@ fn assemble_report(profile: &Profile, cfg: &SimConfig, m: &Machine<'_>) -> SimRe
 mod tests {
     use super::*;
     use emissary_core::spec::PolicySpec;
+    use emissary_obs::{NullSink, RingSink};
 
     fn quick(policy: PolicySpec) -> SimConfig {
         SimConfig {
@@ -126,16 +196,44 @@ mod tests {
     }
 
     #[test]
+    fn tracing_and_sampling_do_not_change_the_simulation() {
+        // Observability must be passive: a run with a recording sink and
+        // interval sampling must produce a bit-identical SimReport to the
+        // default NullSink/unsampled run (ISSUE acceptance criterion).
+        let p = Profile::by_name("xapian").unwrap();
+        let cfg = quick(PolicySpec::PREFERRED);
+        let plain = run_sim(&p, &cfg);
+        // An enabled tracer that discards (NullSink) must also be inert.
+        let nulled = run_sim_observed(&p, &cfg, &ObsConfig::new(Tracer::new(NullSink), None));
+        assert_eq!(plain, nulled.report, "NullSink tracing perturbed the run");
+        let sink = RingSink::new(4096);
+        let buffer = sink.buffer();
+        let obs = ObsConfig::new(Tracer::new(sink), Some(7_000));
+        let observed = run_sim_observed(&p, &cfg, &obs);
+        assert_eq!(plain, observed.report, "observability perturbed the run");
+        // 40k instructions / 7k interval -> ceil = 6 samples, and the
+        // recorded counters must agree with the aggregate report.
+        assert_eq!(observed.samples.len(), 6);
+        let last = observed.samples.last().unwrap();
+        assert_eq!(last.instructions, plain.committed);
+        assert_eq!(last.cycles, plain.cycles);
+        let starved: u64 = observed.samples.iter().map(|s| s.starvation_cycles).sum();
+        assert_eq!(starved, plain.starvation_cycles);
+        assert_eq!(last.priority_histogram, plain.priority_histogram);
+        // The EMISSARY policy under a thrashing-free quick run still
+        // records fills and evictions; the sink must have seen events.
+        assert!(buffer.lock().unwrap().total_recorded() > 0);
+    }
+
+    #[test]
     fn ideal_l2_mode_is_no_slower() {
         // Shrink the L2 so non-compulsory instruction misses occur within a
         // short run (tomcat's 2.6 MB footprint needs millions of
         // instructions to wrap on the real 1 MB L2).
         let p = Profile::by_name("tomcat").unwrap();
         let mut base = quick(PolicySpec::BASELINE);
-        base.hierarchy.l2 =
-            emissary_cache::config::CacheConfig::new("l2", 64 * 1024, 16, 12);
-        base.hierarchy.l3 =
-            emissary_cache::config::CacheConfig::new("l3", 128 * 1024, 16, 32);
+        base.hierarchy.l2 = emissary_cache::config::CacheConfig::new("l2", 64 * 1024, 16, 12);
+        base.hierarchy.l3 = emissary_cache::config::CacheConfig::new("l3", 128 * 1024, 16, 32);
         let mut ideal = base.clone();
         ideal.hierarchy.ideal_l2_instr = true;
         let r0 = run_sim(&p, &base);

@@ -44,7 +44,18 @@ impl Table {
 
     /// Appends a row of displayable values.
     pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// The header cells.
+    pub fn headers(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// Number of data rows.

@@ -121,7 +121,10 @@ mod tests {
         let mut c = 0;
         let mut rng = Rng::new(1);
         let outcomes: Vec<bool> = (0..8).map(|_| b.next_outcome(&mut c, &mut rng)).collect();
-        assert_eq!(outcomes, vec![true, true, true, false, true, true, true, false]);
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, true, true, true, false]
+        );
     }
 
     #[test]

@@ -138,7 +138,8 @@ pub fn build_program(shape: &ProgramShape) -> Program {
     let helper_blocks = shape.helper_blocks.max(2);
     let helper_total = helpers * helper_blocks;
     let services = shape.num_services.max(1);
-    let service_blocks = ((total_blocks.saturating_sub(dispatcher + helper_total)) / services).max(4);
+    let service_blocks =
+        ((total_blocks.saturating_sub(dispatcher + helper_total)) / services).max(4);
 
     // Id layout: [0, dispatcher) dispatcher; then helpers; then services.
     let helper_base = dispatcher;
@@ -194,8 +195,10 @@ pub fn build_program(shape: &ProgramShape) -> Program {
             })
             .collect()
     };
-    let push_block = |instrs: Vec<InstrTemplate>, term: Terminator,
-                          blocks: &mut Vec<BasicBlock>, addr: &mut u64| {
+    let push_block = |instrs: Vec<InstrTemplate>,
+                      term: Terminator,
+                      blocks: &mut Vec<BasicBlock>,
+                      addr: &mut u64| {
         let id = blocks.len() as BlockId;
         let start = *addr;
         *addr += INSTR_BYTES * instrs.len() as u64;
@@ -237,10 +240,7 @@ pub fn build_program(shape: &ProgramShape) -> Program {
             let id = base + j;
             let term = if j == helper_blocks - 1 {
                 Terminator::Return
-            } else if j == 1
-                && helper_blocks > 2
-                && id % LAYOUT_GRANULE != LAYOUT_GRANULE - 1
-            {
+            } else if j == 1 && helper_blocks > 2 && id % LAYOUT_GRANULE != LAYOUT_GRANULE - 1 {
                 Terminator::Cond {
                     target: base + j - 1,
                     fallthrough: base + j + 1,

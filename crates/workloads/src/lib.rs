@@ -49,8 +49,8 @@ pub mod walker;
 
 pub use behavior::{BranchBehavior, DataStream};
 pub use builder::build_program;
+pub use builder::ProgramShape;
 pub use profiles::Profile;
 pub use program::{BasicBlock, BlockId, InstrKind, InstrTemplate, Program, TermClass, Terminator};
-pub use builder::ProgramShape;
 pub use trace::{TraceReader, TraceWriter};
 pub use walker::{DynBlock, DynInstr, DynOp, Walker};

@@ -81,19 +81,175 @@ impl Profile {
         }
         vec![
             // name            seed  codeKB svc  skew  rot  rep  hard  (hot,warm,stream)KB  (wh,ww,ws)          load
-            mk("specjbb", 0xA001, 1200, 48, 0.8, 0.55, 2, 0.06, (48, 96, 4096), (0.55, 0.25, 0.20), 0.30),
-            mk("xapian", 0xA002, 300, 12, 1.0, 0.30, 3, 0.04, (16, 64, 128), (0.82, 0.15, 0.03), 0.25),
-            mk("finagle-http", 0xA003, 1100, 64, 0.20, 0.75, 2, 0.08, (16, 96, 4096), (0.80, 0.16, 0.04), 0.25),
-            mk("finagle-chirper", 0xA004, 800, 48, 0.30, 0.70, 2, 0.08, (16, 96, 4096), (0.80, 0.16, 0.04), 0.25),
-            mk("tomcat", 0xA005, 2600, 96, 0.50, 0.75, 2, 0.07, (16, 96, 4096), (0.82, 0.15, 0.03), 0.25),
-            mk("kafka", 0xA006, 900, 32, 1.2, 0.40, 3, 0.05, (48, 128, 8192), (0.50, 0.25, 0.25), 0.30),
-            mk("tpcc", 0xA007, 450, 16, 1.5, 0.30, 3, 0.05, (16, 96, 128), (0.82, 0.15, 0.03), 0.25),
-            mk("wikipedia", 0xA008, 1400, 48, 0.90, 0.60, 2, 0.06, (16, 96, 4096), (0.80, 0.16, 0.04), 0.25),
-            mk("media-stream", 0xA009, 500, 16, 1.2, 0.30, 3, 0.04, (48, 128, 8192), (0.45, 0.20, 0.35), 0.30),
-            mk("web-search", 0xA00A, 600, 24, 1.6, 0.35, 3, 0.05, (16, 96, 128), (0.82, 0.15, 0.03), 0.25),
-            mk("data-serving", 0xA00B, 1000, 48, 0.60, 0.65, 2, 0.07, (16, 96, 4096), (0.78, 0.17, 0.05), 0.25),
-            mk("verilator", 0xA00C, 2200, 64, 0.05, 1.00, 1, 0.03, (16, 64, 64), (0.85, 0.13, 0.02), 0.25),
-            mk("speedometer2.0", 0xA00D, 1000, 32, 1.4, 0.55, 2, 0.08, (16, 96, 4096), (0.78, 0.17, 0.05), 0.25),
+            mk(
+                "specjbb",
+                0xA001,
+                1200,
+                48,
+                0.8,
+                0.55,
+                2,
+                0.06,
+                (48, 96, 4096),
+                (0.55, 0.25, 0.20),
+                0.30,
+            ),
+            mk(
+                "xapian",
+                0xA002,
+                300,
+                12,
+                1.0,
+                0.30,
+                3,
+                0.04,
+                (16, 64, 128),
+                (0.82, 0.15, 0.03),
+                0.25,
+            ),
+            mk(
+                "finagle-http",
+                0xA003,
+                1100,
+                64,
+                0.20,
+                0.75,
+                2,
+                0.08,
+                (16, 96, 4096),
+                (0.80, 0.16, 0.04),
+                0.25,
+            ),
+            mk(
+                "finagle-chirper",
+                0xA004,
+                800,
+                48,
+                0.30,
+                0.70,
+                2,
+                0.08,
+                (16, 96, 4096),
+                (0.80, 0.16, 0.04),
+                0.25,
+            ),
+            mk(
+                "tomcat",
+                0xA005,
+                2600,
+                96,
+                0.50,
+                0.75,
+                2,
+                0.07,
+                (16, 96, 4096),
+                (0.82, 0.15, 0.03),
+                0.25,
+            ),
+            mk(
+                "kafka",
+                0xA006,
+                900,
+                32,
+                1.2,
+                0.40,
+                3,
+                0.05,
+                (48, 128, 8192),
+                (0.50, 0.25, 0.25),
+                0.30,
+            ),
+            mk(
+                "tpcc",
+                0xA007,
+                450,
+                16,
+                1.5,
+                0.30,
+                3,
+                0.05,
+                (16, 96, 128),
+                (0.82, 0.15, 0.03),
+                0.25,
+            ),
+            mk(
+                "wikipedia",
+                0xA008,
+                1400,
+                48,
+                0.90,
+                0.60,
+                2,
+                0.06,
+                (16, 96, 4096),
+                (0.80, 0.16, 0.04),
+                0.25,
+            ),
+            mk(
+                "media-stream",
+                0xA009,
+                500,
+                16,
+                1.2,
+                0.30,
+                3,
+                0.04,
+                (48, 128, 8192),
+                (0.45, 0.20, 0.35),
+                0.30,
+            ),
+            mk(
+                "web-search",
+                0xA00A,
+                600,
+                24,
+                1.6,
+                0.35,
+                3,
+                0.05,
+                (16, 96, 128),
+                (0.82, 0.15, 0.03),
+                0.25,
+            ),
+            mk(
+                "data-serving",
+                0xA00B,
+                1000,
+                48,
+                0.60,
+                0.65,
+                2,
+                0.07,
+                (16, 96, 4096),
+                (0.78, 0.17, 0.05),
+                0.25,
+            ),
+            mk(
+                "verilator",
+                0xA00C,
+                2200,
+                64,
+                0.05,
+                1.00,
+                1,
+                0.03,
+                (16, 64, 64),
+                (0.85, 0.13, 0.02),
+                0.25,
+            ),
+            mk(
+                "speedometer2.0",
+                0xA00D,
+                1000,
+                32,
+                1.4,
+                0.55,
+                2,
+                0.08,
+                (16, 96, 4096),
+                (0.78, 0.17, 0.05),
+                0.25,
+            ),
         ]
     }
 

@@ -161,7 +161,9 @@ impl Program {
 
     /// The block starting at `addr`, if any.
     pub fn block_at(&self, addr: u64) -> Option<&BasicBlock> {
-        self.by_start.get(&addr).map(|&id| &self.blocks[id as usize])
+        self.by_start
+            .get(&addr)
+            .map(|&id| &self.blocks[id as usize])
     }
 
     /// A block by id.
@@ -336,10 +338,7 @@ mod tests {
 
     #[test]
     fn terminator_classes() {
-        assert_eq!(
-            Terminator::Return.class(),
-            TermClass::Return
-        );
+        assert_eq!(Terminator::Return.class(), TermClass::Return);
         assert_eq!(
             Terminator::FallThrough { next: 0 }.class(),
             TermClass::FallThrough

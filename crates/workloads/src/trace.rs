@@ -125,7 +125,10 @@ impl<R: Read> TraceReader<R> {
         let mut magic = [0u8; 4];
         input.read_exact(&mut magic)?;
         if magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad trace magic",
+            ));
         }
         let mut ver = [0u8; 2];
         input.read_exact(&mut ver)?;

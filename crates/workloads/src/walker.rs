@@ -187,9 +187,7 @@ impl<'p> Walker<'p> {
                 let ret = self.call_stack.pop().unwrap_or(self.program.entry);
                 (true, self.program.block(ret).start, ret)
             }
-            Terminator::FallThrough { next } => {
-                (false, self.program.block(*next).start, *next)
-            }
+            Terminator::FallThrough { next } => (false, self.program.block(*next).start, *next),
         }
     }
 

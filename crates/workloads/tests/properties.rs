@@ -8,13 +8,13 @@ use emissary_workloads::walker::Walker;
 
 fn shape_strategy() -> impl Strategy<Value = ProgramShape> {
     (
-        16u32..128,              // code_kb
-        1u32..12,                // num_services
-        0.0f64..2.0,             // service_skew
-        0.0f64..1.0,             // service_rotation
-        1u32..4,                 // service_repeat
-        0.0f64..0.3,             // hard_branch_frac
-        1u64..1000,              // seed
+        16u32..128,  // code_kb
+        1u32..12,    // num_services
+        0.0f64..2.0, // service_skew
+        0.0f64..1.0, // service_rotation
+        1u32..4,     // service_repeat
+        0.0f64..0.3, // hard_branch_frac
+        1u64..1000,  // seed
     )
         .prop_map(
             |(code_kb, num_services, skew, rotation, repeat, hard, seed)| ProgramShape {

@@ -9,13 +9,18 @@
 use emissary::prelude::*;
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "verilator".into());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "verilator".into());
     let measure: u64 = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(4_000_000);
     let profile = Profile::by_name(&bench).unwrap_or_else(|| {
-        eprintln!("unknown benchmark {bench:?}; available: {:?}", Profile::names());
+        eprintln!(
+            "unknown benchmark {bench:?}; available: {:?}",
+            Profile::names()
+        );
         std::process::exit(1);
     });
     let cfg = SimConfig {
@@ -23,7 +28,10 @@ fn main() {
         measure_instrs: measure,
         ..SimConfig::default()
     };
-    println!("benchmark: {}  (warmup {} + measure {})\n", profile.name, cfg.warmup_instrs, measure);
+    println!(
+        "benchmark: {}  (warmup {} + measure {})\n",
+        profile.name, cfg.warmup_instrs, measure
+    );
     for pol in ["M:1", "P(8):S&E", "P(8):S&E&R(1/32)"] {
         let spec: PolicySpec = pol.parse().expect("notation");
         let r = run_sim(&profile, &cfg.clone().with_policy(spec));

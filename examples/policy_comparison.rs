@@ -10,7 +10,10 @@ use emissary::prelude::*;
 fn main() {
     let bench = std::env::args().nth(1).unwrap_or_else(|| "tomcat".into());
     let profile = Profile::by_name(&bench).unwrap_or_else(|| {
-        eprintln!("unknown benchmark {bench:?}; available: {:?}", Profile::names());
+        eprintln!(
+            "unknown benchmark {bench:?}; available: {:?}",
+            Profile::names()
+        );
         std::process::exit(1);
     });
     let cfg = SimConfig {

@@ -24,6 +24,8 @@
 //!   paper's 13 server benchmarks;
 //! * [`energy`] — the McPAT-lite energy model;
 //! * [`stats`] — reuse-distance tracking and reporting utilities;
+//! * [`obs`] — observability: the zero-overhead-when-disabled event
+//!   tracer, interval sampler, and hand-rolled JSONL emission;
 //! * [`mod@bench`] — the experiment harness regenerating every table/figure.
 //!
 //! # Quickstart
@@ -55,6 +57,7 @@ pub use emissary_cache as cache;
 pub use emissary_core as core;
 pub use emissary_energy as energy;
 pub use emissary_frontend as frontend;
+pub use emissary_obs as obs;
 pub use emissary_sim as sim;
 pub use emissary_stats as stats;
 pub use emissary_workloads as workloads;
@@ -66,7 +69,8 @@ pub mod prelude {
     pub use emissary_core::selection::{MissFlags, SelectionExpr};
     pub use emissary_core::spec::PolicySpec;
     pub use emissary_energy::EnergyParams;
-    pub use emissary_sim::{run_sim, SimConfig, SimReport};
+    pub use emissary_obs::{RingSink, TraceEvent, Tracer};
+    pub use emissary_sim::{run_sim, run_sim_observed, ObsConfig, SimConfig, SimReport, SimRun};
     pub use emissary_stats::summary::{geomean, speedup_pct};
     pub use emissary_stats::table::Table;
     pub use emissary_workloads::Profile;

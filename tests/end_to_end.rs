@@ -95,10 +95,8 @@ fn emissary_beats_baseline_in_thrash_regime() {
             ..SimConfig::default()
         }
         .with_policy(policy.parse().unwrap());
-        cfg.hierarchy.l2 =
-            emissary::cache::config::CacheConfig::new("l2", 128 * 1024, 16, 12);
-        cfg.hierarchy.l3 =
-            emissary::cache::config::CacheConfig::new("l3", 256 * 1024, 16, 32);
+        cfg.hierarchy.l2 = emissary::cache::config::CacheConfig::new("l2", 128 * 1024, 16, 12);
+        cfg.hierarchy.l3 = emissary::cache::config::CacheConfig::new("l3", 256 * 1024, 16, 32);
         cfg
     };
     let base = run_sim(&profile, &small_l2("M:1"));
@@ -190,8 +188,17 @@ fn reports_are_internally_consistent_across_profiles() {
         let r = run_sim(&p, &cfg);
         assert_eq!(r.benchmark, p.name);
         assert!(r.committed >= 25_000, "{}", p.name);
-        assert!(r.ipc() > 0.0 && r.ipc() <= 8.0, "{}: ipc {}", p.name, r.ipc());
-        assert!(r.decode_rate() >= r.ipc() * 0.99, "{}: decoded < committed", p.name);
+        assert!(
+            r.ipc() > 0.0 && r.ipc() <= 8.0,
+            "{}: ipc {}",
+            p.name,
+            r.ipc()
+        );
+        assert!(
+            r.decode_rate() >= r.ipc() * 0.99,
+            "{}: decoded < committed",
+            p.name
+        );
         assert!(
             r.fe_stall_cycles + r.be_stall_cycles <= r.cycles,
             "{}: stall cycles exceed total",
