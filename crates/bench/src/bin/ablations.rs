@@ -23,6 +23,7 @@ fn run_logged(profile: &Profile, cfg: &SimConfig) -> SimReport {
     let run = Job {
         profile: profile.clone(),
         config: cfg.clone(),
+        inject: None,
     }
     .run_observed();
     results::log_run(&run);

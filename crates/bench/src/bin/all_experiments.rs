@@ -28,6 +28,7 @@ fn main() {
     ];
     for (name, run) in runs {
         eprintln!("=== {name} ===");
+        emissary_bench::checkpoint::begin(name);
         let exp = run();
         emissary_bench::results::emit(name, &exp);
     }

@@ -42,6 +42,7 @@ fn main() {
     .map(|s| s.parse().expect("notation"))
     .collect();
     let profiles = Profile::all();
+    emissary_bench::checkpoint::begin("extensions");
     let matrix = run_matrix(&profiles, &cfg, &policies);
 
     let mut headers = vec!["benchmark".to_string()];
@@ -49,23 +50,28 @@ fn main() {
     let mut t = Table::new(headers);
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); policies.len() - 1];
     for p in &profiles {
-        let base = matrix
-            .get(&(p.name.to_string(), "M:1".to_string()))
-            .expect("baseline run");
+        let base = matrix.get(p.name, &policies[0]);
         let mut row = vec![p.name.to_string()];
         for (i, pol) in policies[1..].iter().enumerate() {
-            let r = matrix
-                .get(&(p.name.to_string(), pol.to_string()))
-                .expect("policy run");
-            let ratio = base.cycles as f64 / r.cycles as f64;
-            ratios[i].push(ratio);
-            row.push(fixed(speedup_pct(ratio), 2));
+            match (base, matrix.get(p.name, pol)) {
+                (Some(base), Some(r)) => {
+                    let ratio = base.cycles as f64 / r.cycles as f64;
+                    ratios[i].push(ratio);
+                    row.push(fixed(speedup_pct(ratio), 2));
+                }
+                _ => row.push(emissary_bench::experiments::FAILED.to_string()),
+            }
         }
         t.row(row);
     }
+    // Geomeans cover the benchmarks where both runs completed.
     let mut row = vec!["geomean".to_string()];
     for r in &ratios {
-        row.push(fixed(speedup_pct(geomean(r).expect("ratios")), 2));
+        row.push(
+            geomean(r)
+                .map(|g| fixed(speedup_pct(g), 2))
+                .unwrap_or_else(|| emissary_bench::experiments::FAILED.to_string()),
+        );
     }
     t.row(row);
 

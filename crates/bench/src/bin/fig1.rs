@@ -10,6 +10,7 @@ fn main() {
         cfg.measure_instrs,
         emissary_bench::threads()
     );
+    emissary_bench::checkpoint::begin("fig1");
     let exp = emissary_bench::experiments::fig1(&cfg);
     emissary_bench::results::emit("fig1", &exp);
 }

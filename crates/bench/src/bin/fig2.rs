@@ -10,6 +10,7 @@ fn main() {
         cfg.measure_instrs,
         emissary_bench::threads()
     );
+    emissary_bench::checkpoint::begin("fig2");
     let exp = emissary_bench::experiments::fig2(&cfg);
     emissary_bench::results::emit("fig2", &exp);
 }

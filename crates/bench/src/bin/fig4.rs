@@ -10,6 +10,7 @@ fn main() {
         cfg.measure_instrs,
         emissary_bench::threads()
     );
+    emissary_bench::checkpoint::begin("fig4");
     let exp = emissary_bench::experiments::fig4(&cfg);
     emissary_bench::results::emit("fig4", &exp);
 }

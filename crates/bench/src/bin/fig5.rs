@@ -10,6 +10,7 @@ fn main() {
         cfg.measure_instrs,
         emissary_bench::threads()
     );
+    emissary_bench::checkpoint::begin("fig5");
     let exp = emissary_bench::experiments::fig5(&cfg);
     emissary_bench::results::emit("fig5", &exp);
 }

@@ -10,6 +10,7 @@ fn main() {
         cfg.measure_instrs,
         emissary_bench::threads()
     );
+    emissary_bench::checkpoint::begin("fig7");
     let exp = emissary_bench::experiments::fig7(&cfg);
     emissary_bench::results::emit("fig7", &exp);
 }

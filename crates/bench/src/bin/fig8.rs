@@ -12,6 +12,7 @@ fn main() {
         emissary_bench::threads(),
         with_reset
     );
+    emissary_bench::checkpoint::begin("fig8");
     let exp = emissary_bench::experiments::fig8(&cfg, with_reset);
     emissary_bench::results::emit("fig8", &exp);
 }

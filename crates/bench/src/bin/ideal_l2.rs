@@ -10,6 +10,7 @@ fn main() {
         cfg.measure_instrs,
         emissary_bench::threads()
     );
+    emissary_bench::checkpoint::begin("ideal_l2");
     let exp = emissary_bench::experiments::ideal_l2(&cfg);
     emissary_bench::results::emit("ideal_l2", &exp);
 }

@@ -10,6 +10,7 @@ fn main() {
         cfg.measure_instrs,
         emissary_bench::threads()
     );
+    emissary_bench::checkpoint::begin("table5");
     let exp = emissary_bench::experiments::table5(&cfg);
     emissary_bench::results::emit("table5", &exp);
 }

@@ -1,0 +1,241 @@
+//! Campaign checkpointing: completed jobs stream to
+//! `results/<name>.ckpt.jsonl` keyed by a stable job fingerprint, and
+//! `EMISSARY_RESUME=1` replays them instead of re-simulating.
+//!
+//! A fingerprint is `<benchmark>|<policy notation>|<config hash>` — the
+//! hash covers the *entire* [`SimConfig`] (via its `Debug` rendering), so
+//! two jobs that differ in any knob (run lengths, hierarchy geometry,
+//! reset interval, seed, …) never collide. Because simulations are
+//! deterministic, a checkpointed run is byte-for-byte the run a fresh
+//! simulation would produce; a regression test holds this.
+//!
+//! The checkpoint file is append-only JSONL. Failed jobs are recorded too
+//! (with their failure kind), but only `"status":"completed"` records are
+//! replayed on resume — a resumed campaign re-runs exactly the jobs that
+//! did not finish. Records are replayed last-wins per fingerprint, and
+//! unparseable lines (torn writes from a killed process) are skipped.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use emissary_obs::{JsonObject, JsonValue};
+use emissary_sim::{SimReport, SimRun};
+
+use crate::pool::JobOutcome;
+use crate::Job;
+
+/// FNV-1a 64-bit: tiny, dependency-free, stable across runs (unlike
+/// `DefaultHasher`, whose output may change between Rust releases).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Stable hash of a job's full configuration.
+pub fn config_hash(job: &Job) -> u64 {
+    fnv1a64(format!("{:?}", job.config).as_bytes())
+}
+
+/// Stable identity of one simulation job within a campaign:
+/// `<benchmark>|<policy>|<config hash>`.
+pub fn fingerprint(job: &Job) -> String {
+    format!(
+        "{}|{}|{:016x}",
+        job.profile.name,
+        job.config.l2_policy,
+        config_hash(job)
+    )
+}
+
+/// One experiment campaign's checkpoint state: a resume map loaded at
+/// construction plus an append-only writer shared by the worker threads.
+pub struct Campaign {
+    path: PathBuf,
+    resume: HashMap<String, SimRun>,
+    writer: Mutex<Option<BufWriter<fs::File>>>,
+}
+
+impl Campaign {
+    /// Opens the campaign `<dir>/<name>.ckpt.jsonl`. With `resume` set,
+    /// previously completed jobs are loaded and will be replayed;
+    /// otherwise any existing checkpoint file is truncated (a fresh
+    /// campaign records from scratch).
+    pub fn begin_with(name: &str, dir: &Path, resume: bool) -> Campaign {
+        let path = dir.join(format!("{name}.ckpt.jsonl"));
+        let resume_map = if resume {
+            load_completed(&path)
+        } else {
+            HashMap::new()
+        };
+        let _ = fs::create_dir_all(dir);
+        let writer = fs::OpenOptions::new()
+            .create(true)
+            .append(resume)
+            .truncate(!resume)
+            .write(true)
+            .open(&path)
+            .map(BufWriter::new)
+            .map_err(|e| eprintln!("checkpoint: cannot open {}: {e}", path.display()))
+            .ok();
+        Campaign {
+            path,
+            resume: resume_map,
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// The checkpoint file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of completed jobs loaded for replay.
+    pub fn resumable(&self) -> usize {
+        self.resume.len()
+    }
+
+    /// Looks up a completed run for this fingerprint.
+    pub fn cached(&self, fp: &str) -> Option<&SimRun> {
+        self.resume.get(fp)
+    }
+
+    /// Appends one outcome record and flushes, so a killed campaign loses
+    /// at most the record being written (and a torn tail line is skipped
+    /// on resume).
+    pub fn record(&self, fp: &str, outcome: &JobOutcome) {
+        let line = render_record(fp, outcome);
+        let mut guard = self.writer.lock().expect("checkpoint writer poisoned");
+        if let Some(w) = guard.as_mut() {
+            let ok = writeln!(w, "{line}").and_then(|()| w.flush());
+            if let Err(e) = ok {
+                eprintln!("checkpoint: write to {} failed: {e}", self.path.display());
+                *guard = None; // don't spam once the disk is gone
+            }
+        }
+    }
+}
+
+/// Renders one checkpoint JSONL record for an outcome.
+fn render_record(fp: &str, outcome: &JobOutcome) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_str("record", "ckpt")
+        .field_str("fingerprint", fp)
+        .field_str("benchmark", outcome.benchmark())
+        .field_str("policy", outcome.policy())
+        .field_str("status", outcome.status());
+    match outcome {
+        JobOutcome::Completed { run, .. } => {
+            obj.field_raw("report", &run.report.to_json());
+            let samples: Vec<String> = run.samples.iter().map(|s| s.to_json()).collect();
+            obj.field_raw("samples", &format!("[{}]", samples.join(",")));
+        }
+        failed => {
+            obj.field_str("error", &failed.describe());
+        }
+    }
+    obj.finish()
+}
+
+/// Loads the completed runs from a checkpoint file, last record winning
+/// per fingerprint. Missing files and malformed lines are skipped.
+fn load_completed(path: &Path) -> HashMap<String, SimRun> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return HashMap::new();
+    };
+    let mut map = HashMap::new();
+    for line in text.lines() {
+        let Ok(v) = JsonValue::parse(line) else {
+            continue; // torn write
+        };
+        let Some(fp) = v.get("fingerprint").and_then(|f| f.as_str()) else {
+            continue;
+        };
+        if v.get("status").and_then(|s| s.as_str()) != Some("completed") {
+            // A later failure record does not invalidate an earlier
+            // completed one: keep whatever we have.
+            continue;
+        }
+        let Some(report) = v.get("report").and_then(SimReport::from_json) else {
+            continue;
+        };
+        let samples: Option<Vec<_>> = v
+            .get("samples")
+            .and_then(|s| s.as_array())
+            .map(|items| {
+                items
+                    .iter()
+                    .map(emissary_obs::IntervalSample::from_json)
+                    .collect()
+            })
+            .unwrap_or_else(|| Some(Vec::new()));
+        let Some(samples) = samples else {
+            continue;
+        };
+        map.insert(fp.to_string(), SimRun { report, samples });
+    }
+    map
+}
+
+/// The process-global campaign, set by each experiment binary before its
+/// jobs run (mirroring the process-global run log in [`crate::results`]).
+static CAMPAIGN: Mutex<Option<Campaign>> = Mutex::new(None);
+
+/// Opens the global campaign for `name` under `results/`, resuming when
+/// `EMISSARY_RESUME=1`. Experiment binaries call this once per experiment,
+/// before building jobs; the pool checkpoints through it automatically.
+pub fn begin(name: &str) {
+    let campaign = Campaign::begin_with(name, Path::new("results"), crate::scale::resume());
+    if campaign.resumable() > 0 {
+        eprintln!(
+            "checkpoint: resuming {name}: {} completed job(s) will be replayed",
+            campaign.resumable()
+        );
+    }
+    *global() = Some(campaign);
+}
+
+/// Locks the global campaign for the duration of a pool run. A panic
+/// while the lock is held (the legacy pool APIs panic on job failure)
+/// cannot corrupt the campaign, so poisoning is ignored.
+pub(crate) fn global() -> std::sync::MutexGuard<'static, Option<Campaign>> {
+    CAMPAIGN.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        // Reference vector: FNV-1a 64 of "a".
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs_and_is_stable() {
+        let cfg = emissary_sim::SimConfig {
+            warmup_instrs: 1_000,
+            measure_instrs: 4_000,
+            ..emissary_sim::SimConfig::default()
+        };
+        let profile = emissary_workloads::Profile::by_name("xapian").unwrap();
+        let a = Job::new(
+            profile.clone(),
+            &cfg,
+            emissary_core::spec::PolicySpec::BASELINE,
+        );
+        assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+        let mut b = a.clone();
+        b.config.seed ^= 1;
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert!(fingerprint(&a).starts_with("xapian|M:1|"));
+    }
+}

@@ -4,6 +4,12 @@
 //! already set) and returns an [`Experiment`] holding rendered tables. The
 //! binaries in `src/bin/` print them; the Criterion benches run them with
 //! tiny windows.
+//!
+//! Jobs run under the fault-isolating pool ([`crate::pool`]): a job that
+//! panics, times out, stalls, or fails validation becomes a `FAILED` cell
+//! (and a "failed jobs" table) instead of aborting the experiment, and
+//! aggregate rows (averages, geomeans, #Best counts) are computed over
+//! the successful runs only.
 
 use std::collections::HashMap;
 
@@ -14,7 +20,11 @@ use emissary_stats::summary::{geomean, speedup_pct};
 use emissary_stats::table::{fixed, pct_value, Table};
 use emissary_workloads::Profile;
 
-use crate::{results, run_parallel_observed, Job};
+use crate::pool::JobOutcome;
+use crate::{results, Job};
+
+/// Cell text standing in for a value whose run did not complete.
+pub const FAILED: &str = "FAILED";
 
 /// A titled collection of result tables.
 #[derive(Debug)]
@@ -51,15 +61,32 @@ fn parse(s: &str) -> PolicySpec {
         .unwrap_or_else(|e| panic!("bad policy {s:?}: {e}"))
 }
 
-/// Runs `policies` x `profiles` on the template, returning
-/// `(benchmark, policy-string) -> report`. Every run (with its interval
-/// samples, when enabled) is also appended to the [`results`] run log so
-/// the binaries' JSONL output covers it.
-pub fn run_matrix(
-    profiles: &[Profile],
-    template: &SimConfig,
-    policies: &[PolicySpec],
-) -> HashMap<(String, String), SimReport> {
+/// The completed runs of one `profiles x policies` sweep, plus the jobs
+/// that did not complete.
+#[derive(Debug, Default)]
+pub struct Matrix {
+    reports: HashMap<(String, String), SimReport>,
+    failures: Vec<results::JobFailure>,
+}
+
+impl Matrix {
+    /// The completed report for `bench` under `policy`, if the run
+    /// finished.
+    pub fn get(&self, bench: &str, policy: &PolicySpec) -> Option<&SimReport> {
+        self.reports.get(&(bench.to_string(), policy.to_string()))
+    }
+
+    /// Jobs that panicked, aborted, or were rejected.
+    pub fn failures(&self) -> &[results::JobFailure] {
+        &self.failures
+    }
+}
+
+/// Runs `policies` x `profiles` on the template under fault isolation.
+/// Every completed run (with its interval samples, when enabled) is
+/// appended to the [`results`] run log, and every failure to the failure
+/// log, so the binaries' JSONL output covers both.
+pub fn run_matrix(profiles: &[Profile], template: &SimConfig, policies: &[PolicySpec]) -> Matrix {
     let jobs: Vec<Job> = profiles
         .iter()
         .flat_map(|p| {
@@ -68,44 +95,81 @@ pub fn run_matrix(
                 .map(move |&pol| Job::new(p.clone(), template, pol))
         })
         .collect();
-    let runs = run_parallel_observed(&jobs);
-    results::log_runs(&runs);
-    runs.into_iter()
-        .map(|r| {
-            (
-                (r.report.benchmark.clone(), r.report.policy.clone()),
-                r.report,
-            )
-        })
-        .collect()
-}
-
-fn get<'a>(
-    matrix: &'a HashMap<(String, String), SimReport>,
-    bench: &str,
-    policy: &PolicySpec,
-) -> &'a SimReport {
+    let mut matrix = Matrix::default();
+    for outcome in crate::pool::run_parallel_outcomes(&jobs) {
+        match outcome {
+            JobOutcome::Completed { run, .. } => {
+                results::log_run(&run);
+                matrix.reports.insert(
+                    (run.report.benchmark.clone(), run.report.policy.clone()),
+                    run.report,
+                );
+            }
+            failed => {
+                results::log_failure(&failed);
+                if let Some(f) = results::JobFailure::from_outcome(&failed) {
+                    eprintln!("run: {}/{} {}", f.benchmark, f.policy, f.detail);
+                    matrix.failures.push(f);
+                }
+            }
+        }
+    }
     matrix
-        .get(&(bench.to_string(), policy.to_string()))
-        .unwrap_or_else(|| panic!("missing run {bench}/{policy}"))
 }
 
-/// Geomean % speedup of `policy` over `baseline` across benchmarks.
+/// A row of `FAILED` cells after a leading label.
+fn failed_row(label: &str, cells: usize) -> Vec<String> {
+    let mut row = vec![label.to_string()];
+    row.extend(std::iter::repeat_n(FAILED.to_string(), cells));
+    row
+}
+
+/// The "failed jobs" table appended to an experiment when any of its
+/// matrices had failures (`None` when all jobs completed).
+fn failures_table(matrices: &[&Matrix]) -> Option<(String, Table)> {
+    let mut t = Table::with_headers(&["benchmark", "policy", "status", "detail"]);
+    let mut any = false;
+    for m in matrices {
+        for f in m.failures() {
+            any = true;
+            t.row(vec![
+                f.benchmark.clone(),
+                f.policy.clone(),
+                f.status.clone(),
+                f.detail.clone(),
+            ]);
+        }
+    }
+    any.then(|| {
+        (
+            "failed jobs (excluded from aggregates above)".to_string(),
+            t,
+        )
+    })
+}
+
+/// Geomean % speedup of `policy` over `baseline` across the benchmarks
+/// where both runs completed (`None` when no benchmark has both).
 fn geomean_speedup(
-    matrix: &HashMap<(String, String), SimReport>,
+    matrix: &Matrix,
     benches: &[&str],
     baseline: &PolicySpec,
     policy: &PolicySpec,
-) -> f64 {
+) -> Option<f64> {
     let ratios: Vec<f64> = benches
         .iter()
-        .map(|b| {
-            let base = get(matrix, b, baseline);
-            let pol = get(matrix, b, policy);
-            base.cycles as f64 / pol.cycles as f64
+        .filter_map(|b| {
+            let base = matrix.get(b, baseline)?;
+            let pol = matrix.get(b, policy)?;
+            Some(base.cycles as f64 / pol.cycles as f64)
         })
         .collect();
-    speedup_pct(geomean(&ratios).expect("positive cycle ratios"))
+    geomean(&ratios).map(speedup_pct)
+}
+
+/// `fixed` for a value that may come from a failed run.
+fn fixed_opt(v: Option<f64>, prec: usize) -> String {
+    v.map(|v| fixed(v, prec)).unwrap_or_else(|| FAILED.into())
 }
 
 // ---------------------------------------------------------------------------
@@ -128,8 +192,7 @@ pub fn fig1(template: &SimConfig) -> Experiment {
     ];
     let tomcat = Profile::by_name("tomcat").expect("tomcat profile");
     let matrix = run_matrix(std::slice::from_ref(&tomcat), &cfg, &policies);
-    let baseline = get(&matrix, "tomcat", &policies[0]);
-    let base_cycles = baseline.cycles;
+    let base_cycles = matrix.get("tomcat", &policies[0]).map(|r| r.cycles);
     let mut t = Table::with_headers(&[
         "policy",
         "speedup",
@@ -140,20 +203,26 @@ pub fn fig1(template: &SimConfig) -> Experiment {
         "starv_cycles",
     ]);
     for p in &policies {
-        let r = get(&matrix, "tomcat", p);
-        t.row(vec![
-            p.to_string(),
-            pct_value(speedup_pct(base_cycles as f64 / r.cycles as f64)),
-            fixed(r.l2i_mpki, 3),
-            fixed(r.decode_rate(), 4),
-            fixed(r.l2d_mpki, 3),
-            fixed(r.issue_rate(), 4),
-            r.starvation_cycles.to_string(),
-        ]);
+        match matrix.get("tomcat", p) {
+            Some(r) => t.row(vec![
+                p.to_string(),
+                base_cycles
+                    .map(|b| pct_value(speedup_pct(b as f64 / r.cycles as f64)))
+                    .unwrap_or_else(|| FAILED.into()),
+                fixed(r.l2i_mpki, 3),
+                fixed(r.decode_rate(), 4),
+                fixed(r.l2d_mpki, 3),
+                fixed(r.issue_rate(), 4),
+                r.starvation_cycles.to_string(),
+            ]),
+            None => t.row(failed_row(&p.to_string(), 6)),
+        }
     }
+    let mut tables = vec![("tomcat policy progression".to_string(), t)];
+    tables.extend(failures_table(&[&matrix]));
     Experiment {
         title: "Figure 1 — persistence motivation on tomcat (true LRU, no prefetchers)".into(),
-        tables: vec![("tomcat policy progression".into(), t)],
+        tables,
     }
 }
 
@@ -177,11 +246,13 @@ pub fn fig2(template: &SimConfig) -> Experiment {
         "starve_mid%",
         "starve_long%",
     ]);
-    let mut avg = [0.0f64; 7];
+    let mut sums = [0.0f64; 7];
+    let mut ok = 0usize;
     for p in &profiles {
-        let r = get(&matrix, p.name, &PolicySpec::BASELINE);
-        let total_acc =
-            (r.reuse_attribution.long_accesses + r.reuse_attribution.other_accesses).max(1) as f64;
+        let Some(r) = matrix.get(p.name, &PolicySpec::BASELINE) else {
+            t.row(failed_row(p.name, 7));
+            continue;
+        };
         // Access mix from the tracker (cold counts as long, like the
         // attribution path).
         let short = r.reuse.short as f64;
@@ -203,23 +274,28 @@ pub fn fig2(template: &SimConfig) -> Experiment {
             r.reuse_attribution.starve_mid as f64 / starv * 100.0,
             r.reuse_attribution.starve_long as f64 / starv * 100.0,
         ];
-        let _ = total_acc;
-        for (a, v) in avg.iter_mut().zip(row) {
-            *a += v / profiles.len() as f64;
+        ok += 1;
+        for (a, v) in sums.iter_mut().zip(row) {
+            *a += v;
         }
         let mut cells = vec![p.name.to_string()];
         cells.extend(row.iter().map(|v| fixed(*v, 1)));
         t.row(cells);
     }
     let mut cells = vec!["average".to_string()];
-    cells.extend(avg.iter().map(|v| fixed(*v, 1)));
+    cells.extend(
+        sums.iter()
+            .map(|v| fixed_opt((ok > 0).then(|| v / ok as f64), 1)),
+    );
     t.row(cells);
+    let mut tables = vec![(
+        "per-benchmark reuse behaviour (TPLRU+FDIP baseline)".to_string(),
+        t,
+    )];
+    tables.extend(failures_table(&[&matrix]));
     Experiment {
         title: "Figure 2 — reuse-distance mix, long-reuse L2 misses, starvation attribution".into(),
-        tables: vec![(
-            "per-benchmark reuse behaviour (TPLRU+FDIP baseline)".into(),
-            t,
-        )],
+        tables,
     }
 }
 
@@ -240,9 +316,14 @@ pub fn fig3(template: &SimConfig) -> Experiment {
         "l2_data_mpki",
     ]);
     let mut sums = [0.0f64; 4];
+    let mut ok = 0usize;
     for p in &profiles {
-        let r = get(&matrix, p.name, &PolicySpec::BASELINE);
+        let Some(r) = matrix.get(p.name, &PolicySpec::BASELINE) else {
+            t.row(failed_row(p.name, 4));
+            continue;
+        };
         let row = [r.l1i_mpki, r.l1d_mpki, r.l2i_mpki, r.l2d_mpki];
+        ok += 1;
         for (s, v) in sums.iter_mut().zip(row) {
             *s += v;
         }
@@ -251,11 +332,16 @@ pub fn fig3(template: &SimConfig) -> Experiment {
         t.row(cells);
     }
     let mut cells = vec!["average".to_string()];
-    cells.extend(sums.iter().map(|s| fixed(s / profiles.len() as f64, 2)));
+    cells.extend(
+        sums.iter()
+            .map(|s| fixed_opt((ok > 0).then(|| s / ok as f64), 2)),
+    );
     t.row(cells);
+    let mut tables = vec![("per-benchmark MPKI".to_string(), t)];
+    tables.extend(failures_table(&[&matrix]));
     Experiment {
         title: "Figure 3 — cache MPKIs on the TPLRU + FDIP baseline".into(),
-        tables: vec![("per-benchmark MPKI".into(), t)],
+        tables,
     }
 }
 
@@ -269,19 +355,26 @@ pub fn fig4(template: &SimConfig) -> Experiment {
     let matrix = run_matrix(&profiles, template, &[PolicySpec::BASELINE]);
     let mut t = Table::with_headers(&["benchmark", "instr_footprint_mb"]);
     let mut sum = 0.0;
+    let mut ok = 0usize;
     for p in &profiles {
-        let r = get(&matrix, p.name, &PolicySpec::BASELINE);
+        let Some(r) = matrix.get(p.name, &PolicySpec::BASELINE) else {
+            t.row(failed_row(p.name, 1));
+            continue;
+        };
         let mb = r.footprint_bytes as f64 / (1024.0 * 1024.0);
         sum += mb;
+        ok += 1;
         t.row(vec![p.name.to_string(), fixed(mb, 2)]);
     }
     t.row(vec![
         "average".to_string(),
-        fixed(sum / profiles.len() as f64, 2),
+        fixed_opt((ok > 0).then(|| sum / ok as f64), 2),
     ]);
+    let mut tables = vec![("unique instruction lines touched x 64 B".to_string(), t)];
+    tables.extend(failures_table(&[&matrix]));
     Experiment {
         title: "Figure 4 — instruction footprints".into(),
-        tables: vec![("unique instruction lines touched x 64 B".into(), t)],
+        tables,
     }
 }
 
@@ -343,10 +436,10 @@ pub fn table5(template: &SimConfig) -> Experiment {
     policies.sort_by_key(|p| p.to_string());
     policies.dedup();
     let matrix = run_matrix(&profiles, template, &policies);
-    // Geomean grid.
-    let mut grid: Vec<Vec<f64>> = Vec::new();
+    // Geomean grid; a cell is None when no benchmark completed both runs.
+    let mut grid: Vec<Vec<Option<f64>>> = Vec::new();
     for &n in &ns {
-        let row: Vec<f64> = cols
+        let row: Vec<Option<f64>> = cols
             .iter()
             .map(|(_, make)| {
                 geomean_speedup(&matrix, &bench_names, &PolicySpec::BASELINE, &make(n))
@@ -355,17 +448,20 @@ pub fn table5(template: &SimConfig) -> Experiment {
         grid.push(row);
     }
     // "#Best": count of per-column maxima in each row and vice versa.
+    // Failed cells rank below every real value (NEG_INFINITY, not NaN —
+    // total_cmp ranks NaN greatest).
+    let cell = |r: usize, c: usize| grid[r][c].unwrap_or(f64::NEG_INFINITY);
     let col_best: Vec<usize> = (0..cols.len())
         .map(|c| {
             (0..ns.len())
-                .max_by(|&a, &b| grid[a][c].total_cmp(&grid[b][c]))
+                .max_by(|&a, &b| cell(a, c).total_cmp(&cell(b, c)))
                 .expect("non-empty")
         })
         .collect();
     let row_best: Vec<usize> = (0..ns.len())
         .map(|r| {
             (0..cols.len())
-                .max_by(|&a, &b| grid[r][a].total_cmp(&grid[r][b]))
+                .max_by(|&a, &b| cell(r, a).total_cmp(&cell(r, b)))
                 .expect("non-empty")
         })
         .collect();
@@ -375,7 +471,7 @@ pub fn table5(template: &SimConfig) -> Experiment {
     let mut t = Table::new(headers);
     for (ri, &n) in ns.iter().enumerate() {
         let mut cells = vec![n.to_string()];
-        cells.extend(grid[ri].iter().map(|v| fixed(*v, 3)));
+        cells.extend(grid[ri].iter().map(|v| fixed_opt(*v, 3)));
         let best_in_row = col_best.iter().filter(|&&b| b == ri).count();
         cells.push(best_in_row.to_string());
         t.row(cells);
@@ -386,9 +482,11 @@ pub fn table5(template: &SimConfig) -> Experiment {
     }
     cells.push("-".to_string());
     t.row(cells);
+    let mut tables = vec![("P(N) policy grid".to_string(), t)];
+    tables.extend(failures_table(&[&matrix]));
     Experiment {
         title: "Table 5 — geomean speedup (%) vs LRU+FDIP baseline over r and N".into(),
-        tables: vec![("P(N) policy grid".into(), t)],
+        tables,
     }
 }
 
@@ -441,20 +539,34 @@ pub fn fig5(template: &SimConfig) -> Experiment {
         "delta_starvation_empty_iq%",
     ]);
     for p in &profiles {
-        let base = get(&matrix, p.name, &PolicySpec::BASELINE);
-        let mut add_row = |policy: &PolicySpec| {
-            let r = get(&matrix, p.name, policy);
-            let d_starve = emissary_stats::summary::pct_change(
-                base.starvation_empty_iq_cycles as f64,
-                r.starvation_empty_iq_cycles as f64,
-            );
-            t.row(vec![
-                p.name.to_string(),
-                policy.to_string(),
-                pct_value(speedup_pct(base.cycles as f64 / r.cycles as f64)),
-                fixed(r.l2i_mpki, 3),
-                fixed(d_starve, 1),
-            ]);
+        let base = matrix.get(p.name, &PolicySpec::BASELINE);
+        let mut add_row = |policy: &PolicySpec| match matrix.get(p.name, policy) {
+            Some(r) => {
+                let speed = base
+                    .map(|b| pct_value(speedup_pct(b.cycles as f64 / r.cycles as f64)))
+                    .unwrap_or_else(|| FAILED.into());
+                let d_starve = fixed_opt(
+                    base.map(|b| {
+                        emissary_stats::summary::pct_change(
+                            b.starvation_empty_iq_cycles as f64,
+                            r.starvation_empty_iq_cycles as f64,
+                        )
+                    }),
+                    1,
+                );
+                t.row(vec![
+                    p.name.to_string(),
+                    policy.to_string(),
+                    speed,
+                    fixed(r.l2i_mpki, 3),
+                    d_starve,
+                ]);
+            }
+            None => {
+                let mut row = failed_row(p.name, 4);
+                row[1] = policy.to_string();
+                t.row(row);
+            }
         };
         for mp in &m_policies {
             add_row(mp);
@@ -465,9 +577,11 @@ pub fn fig5(template: &SimConfig) -> Experiment {
             }
         }
     }
+    let mut tables = vec![("per-benchmark policy series".to_string(), t)];
+    tables.extend(failures_table(&[&matrix]));
     Experiment {
         title: "Figure 5 — speedup vs MPKI and vs starvation change, N sweep".into(),
-        tables: vec![("per-benchmark policy series".into(), t)],
+        tables,
     }
 }
 
@@ -487,10 +601,16 @@ pub fn fig6(template: &SimConfig) -> Experiment {
         "be_stall_reduction%",
         "total_stall_reduction%",
     ]);
-    let mut avg = [0.0f64; 3];
+    let mut sums = [0.0f64; 3];
+    let mut ok = 0usize;
     for p in &profiles {
-        let base = get(&matrix, p.name, &PolicySpec::BASELINE);
-        let emis = get(&matrix, p.name, &preferred());
+        let (Some(base), Some(emis)) = (
+            matrix.get(p.name, &PolicySpec::BASELINE),
+            matrix.get(p.name, &preferred()),
+        ) else {
+            t.row(failed_row(p.name, 3));
+            continue;
+        };
         let row = [
             emissary_stats::summary::pct_reduction(
                 base.fe_stall_cycles as f64,
@@ -505,19 +625,25 @@ pub fn fig6(template: &SimConfig) -> Experiment {
                 emis.total_stall_cycles() as f64,
             ),
         ];
-        for (a, v) in avg.iter_mut().zip(row) {
-            *a += v / profiles.len() as f64;
+        ok += 1;
+        for (a, v) in sums.iter_mut().zip(row) {
+            *a += v;
         }
         let mut cells = vec![p.name.to_string()];
         cells.extend(row.iter().map(|v| fixed(*v, 2)));
         t.row(cells);
     }
     let mut cells = vec!["average".to_string()];
-    cells.extend(avg.iter().map(|v| fixed(*v, 2)));
+    cells.extend(
+        sums.iter()
+            .map(|v| fixed_opt((ok > 0).then(|| v / ok as f64), 2)),
+    );
     t.row(cells);
+    let mut tables = vec![("commit-path stall reductions".to_string(), t)];
+    tables.extend(failures_table(&[&matrix]));
     Experiment {
         title: "Figure 6 — stall-cycle reduction of P(8):S&E&R(1/32) vs baseline".into(),
-        tables: vec![("commit-path stall reductions".into(), t)],
+        tables,
     }
 }
 
@@ -558,47 +684,55 @@ pub fn fig7(template: &SimConfig) -> Experiment {
     let mut speed = Table::new(headers.clone());
     let mut energy = Table::new(headers);
     for p in &profiles {
-        let base = get(&matrix, p.name, &PolicySpec::BASELINE);
+        let base = matrix.get(p.name, &PolicySpec::BASELINE);
         let mut srow = vec![p.name.to_string()];
         let mut erow = vec![p.name.to_string()];
         for tech in &techniques {
-            let r = get(&matrix, p.name, tech);
-            srow.push(fixed(speedup_pct(base.cycles as f64 / r.cycles as f64), 2));
-            erow.push(fixed(
-                (base.energy_pj - r.energy_pj) / base.energy_pj * 100.0,
-                2,
-            ));
+            match (base, matrix.get(p.name, tech)) {
+                (Some(base), Some(r)) => {
+                    srow.push(fixed(speedup_pct(base.cycles as f64 / r.cycles as f64), 2));
+                    erow.push(fixed(
+                        (base.energy_pj - r.energy_pj) / base.energy_pj * 100.0,
+                        2,
+                    ));
+                }
+                _ => {
+                    srow.push(FAILED.into());
+                    erow.push(FAILED.into());
+                }
+            }
         }
         speed.row(srow);
         energy.row(erow);
     }
-    // Geomean rows.
+    // Geomean rows, over the benchmarks where both runs completed.
     let mut srow = vec!["geomean".to_string()];
     let mut erow = vec!["geomean".to_string()];
     for tech in &techniques {
-        srow.push(fixed(
+        srow.push(fixed_opt(
             geomean_speedup(&matrix, &bench_names, &PolicySpec::BASELINE, tech),
             2,
         ));
         let ratios: Vec<f64> = bench_names
             .iter()
-            .map(|b| {
-                let base = get(&matrix, b, &PolicySpec::BASELINE);
-                let r = get(&matrix, b, tech);
-                r.energy_pj / base.energy_pj
+            .filter_map(|b| {
+                let base = matrix.get(b, &PolicySpec::BASELINE)?;
+                let r = matrix.get(b, tech)?;
+                Some(r.energy_pj / base.energy_pj)
             })
             .collect();
-        let g = geomean(&ratios).expect("positive energies");
-        erow.push(fixed((1.0 - g) * 100.0, 2));
+        erow.push(fixed_opt(geomean(&ratios).map(|g| (1.0 - g) * 100.0), 2));
     }
     speed.row(srow);
     energy.row(erow);
+    let mut tables = vec![
+        ("speedup (%)".to_string(), speed),
+        ("energy reduction (%)".to_string(), energy),
+    ];
+    tables.extend(failures_table(&[&matrix]));
     Experiment {
         title: "Figure 7 — speedup and energy reduction vs TPLRU+FDIP baseline".into(),
-        tables: vec![
-            ("speedup (%)".into(), speed),
-            ("energy reduction (%)".into(), energy),
-        ],
+        tables,
     }
 }
 
@@ -621,13 +755,20 @@ pub fn fig8(template: &SimConfig, with_reset: bool) -> Experiment {
     ]);
     let mut dist = [[0.0f64; 9]; 2];
     for (pi, pol) in policies.iter().enumerate() {
+        let mut ok = 0usize;
         for p in &profiles {
-            let r = get(&matrix, p.name, pol);
+            let Some(r) = matrix.get(p.name, pol) else {
+                continue;
+            };
+            ok += 1;
             let total: u64 = r.priority_histogram.iter().sum();
             for (bucket, &count) in r.priority_histogram.iter().enumerate() {
                 let b = bucket.min(8);
-                dist[pi][b] += count as f64 / total.max(1) as f64 / profiles.len() as f64;
+                dist[pi][b] += count as f64 / total.max(1) as f64;
             }
+        }
+        for d in &mut dist[pi] {
+            *d /= ok.max(1) as f64;
         }
     }
     for (b, (d0, d1)) in dist[0].iter().zip(&dist[1]).enumerate() {
@@ -638,7 +779,7 @@ pub fn fig8(template: &SimConfig, with_reset: bool) -> Experiment {
         ]);
     }
     let mut tables = vec![(
-        "per-set P=1 count distribution (avg over benchmarks)".into(),
+        "per-set P=1 count distribution (avg over benchmarks)".to_string(),
         t,
     )];
     if with_reset {
@@ -649,14 +790,22 @@ pub fn fig8(template: &SimConfig, with_reset: bool) -> Experiment {
         let reset_matrix = run_matrix(&profiles, &reset_cfg, &[parse("P(8):S&E&R(1/32)")]);
         let mut rt = Table::with_headers(&["benchmark", "reset_speedup_vs_no_reset%"]);
         for p in &profiles {
-            let no_reset = get(&matrix, p.name, &policies[1]);
-            let with = get(&reset_matrix, p.name, &policies[1]);
+            let (Some(no_reset), Some(with)) = (
+                matrix.get(p.name, &policies[1]),
+                reset_matrix.get(p.name, &policies[1]),
+            ) else {
+                rt.row(failed_row(p.name, 1));
+                continue;
+            };
             rt.row(vec![
                 p.name.to_string(),
                 fixed(speedup_pct(no_reset.cycles as f64 / with.cycles as f64), 3),
             ]);
         }
         tables.push(("§6 reset impact (P(8):S&E&R(1/32))".into(), rt));
+        tables.extend(failures_table(&[&matrix, &reset_matrix]));
+    } else {
+        tables.extend(failures_table(&[&matrix]));
     }
     Experiment {
         title: "Figure 8 — saturation of high-priority lines per set".into(),
@@ -672,7 +821,6 @@ pub fn fig8(template: &SimConfig, with_reset: bool) -> Experiment {
 /// instruction cache, and EMISSARY's gain as a fraction of that bound.
 pub fn ideal_l2(template: &SimConfig) -> Experiment {
     let profiles = Profile::all();
-    let bench_names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
     let matrix = run_matrix(&profiles, template, &[PolicySpec::BASELINE, preferred()]);
     let mut ideal_cfg = template.clone();
     ideal_cfg.hierarchy.ideal_l2_instr = true;
@@ -686,9 +834,14 @@ pub fn ideal_l2(template: &SimConfig) -> Experiment {
     let mut ideal_ratios = Vec::new();
     let mut emis_ratios = Vec::new();
     for p in &profiles {
-        let base = get(&matrix, p.name, &PolicySpec::BASELINE);
-        let emis = get(&matrix, p.name, &preferred());
-        let ideal = get(&ideal_matrix, p.name, &PolicySpec::BASELINE);
+        let (Some(base), Some(emis), Some(ideal)) = (
+            matrix.get(p.name, &PolicySpec::BASELINE),
+            matrix.get(p.name, &preferred()),
+            ideal_matrix.get(p.name, &PolicySpec::BASELINE),
+        ) else {
+            t.row(failed_row(p.name, 3));
+            continue;
+        };
         let ideal_pct = speedup_pct(base.cycles as f64 / ideal.cycles as f64);
         let emis_pct = speedup_pct(base.cycles as f64 / emis.cycles as f64);
         ideal_ratios.push(base.cycles as f64 / ideal.cycles as f64);
@@ -705,29 +858,31 @@ pub fn ideal_l2(template: &SimConfig) -> Experiment {
             fixed(share, 1),
         ]);
     }
-    let g_ideal = speedup_pct(geomean(&ideal_ratios).expect("ratios"));
-    let g_emis = speedup_pct(geomean(&emis_ratios).expect("ratios"));
-    let share = if g_ideal.abs() < 1e-9 {
-        0.0
-    } else {
-        g_emis / g_ideal * 100.0
+    let g_ideal = geomean(&ideal_ratios).map(speedup_pct);
+    let g_emis = geomean(&emis_ratios).map(speedup_pct);
+    let share = match (g_ideal, g_emis) {
+        (Some(i), Some(e)) if i.abs() >= 1e-9 => Some(e / i * 100.0),
+        (Some(_), Some(_)) => Some(0.0),
+        _ => None,
     };
     t.row(vec![
         "geomean".into(),
-        fixed(g_ideal, 2),
-        fixed(g_emis, 2),
-        fixed(share, 1),
+        fixed_opt(g_ideal, 2),
+        fixed_opt(g_emis, 2),
+        fixed_opt(share, 1),
     ]);
-    let _ = bench_names;
+    let mut tables = vec![("speedups over the FDIP baseline".to_string(), t)];
+    tables.extend(failures_table(&[&matrix, &ideal_matrix]));
     Experiment {
         title: "§5.6 — EMISSARY vs the unrealizable zero-cycle-miss ideal L2".into(),
-        tables: vec![("speedups over the FDIP baseline".into(), t)],
+        tables,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FaultInjection;
 
     #[test]
     fn fig7_has_twelve_techniques_in_order() {
@@ -758,5 +913,43 @@ mod tests {
         assert!(s.contains("# T"));
         assert!(s.contains("## c"));
         assert!(s.contains("TSV:"));
+    }
+
+    #[test]
+    fn matrix_records_failures_without_dropping_successes() {
+        let template = SimConfig {
+            warmup_instrs: 1_000,
+            measure_instrs: 4_000,
+            ..SimConfig::default()
+        };
+        let profile = Profile::by_name("xapian").unwrap();
+        let good = Job::new(profile.clone(), &template, PolicySpec::BASELINE);
+        let mut bad = Job::new(profile.clone(), &template, preferred());
+        bad.inject = Some(FaultInjection::Panic);
+        let mut matrix = Matrix::default();
+        for outcome in crate::pool::run_parallel_outcomes_with(
+            &[good, bad],
+            &crate::PoolOptions::with_workers(2),
+            None,
+        ) {
+            match outcome {
+                JobOutcome::Completed { run, .. } => {
+                    matrix.reports.insert(
+                        (run.report.benchmark.clone(), run.report.policy.clone()),
+                        run.report,
+                    );
+                }
+                failed => matrix
+                    .failures
+                    .extend(results::JobFailure::from_outcome(&failed)),
+            }
+        }
+        assert!(matrix.get("xapian", &PolicySpec::BASELINE).is_some());
+        assert!(matrix.get("xapian", &preferred()).is_none());
+        assert_eq!(matrix.failures().len(), 1);
+        assert_eq!(matrix.failures()[0].status, "panicked");
+        let (caption, table) = failures_table(&[&matrix]).expect("one failure");
+        assert!(caption.contains("failed jobs"));
+        assert_eq!(table.rows().len(), 1);
     }
 }

@@ -17,23 +17,37 @@
 //! * `EMISSARY_TRACE_OUT` — directory receiving one cycle-stamped event
 //!   trace (`.jsonl`) per simulation job.
 //!
+//! Fault tolerance (see DESIGN.md "Failure handling & resume"):
+//!
+//! * `EMISSARY_JOB_TIMEOUT_MS` — per-job wall-clock budget;
+//! * `EMISSARY_STALL_CYCLES` — forward-progress watchdog (`0` disables);
+//! * `EMISSARY_AUDIT=1` — cache-hierarchy invariant auditor at epoch
+//!   boundaries;
+//! * `EMISSARY_RESUME=1` — replay completed jobs from
+//!   `results/<name>.ckpt.jsonl` instead of re-simulating;
+//! * `EMISSARY_INJECT_PANIC=<benchmark>/<policy>` — fire drill: the
+//!   matching job panics, exercising the failure path end to end.
+//!
 //! The Criterion benches (`benches/figures.rs`, `benches/components.rs`)
 //! exercise scaled-down versions of every experiment plus component
 //! microbenchmarks.
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod pool;
 pub mod results;
 pub mod scale;
 
-pub use pool::{run_parallel, run_parallel_observed};
+pub use pool::{
+    run_parallel, run_parallel_observed, run_parallel_outcomes, JobOutcome, PoolOptions,
+};
 pub use scale::{measure_instrs, sample_interval, threads, trace_out, warmup_instrs};
-
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use emissary_core::spec::PolicySpec;
 use emissary_obs::{JsonlSink, Tracer};
-use emissary_sim::{run_sim_observed, ObsConfig, SimConfig, SimReport, SimRun};
+use emissary_sim::{
+    run_sim_checked, FaultConfig, ObsConfig, SimAbort, SimConfig, SimReport, SimRun,
+};
 use emissary_workloads::Profile;
 
 /// The default experiment configuration: Alderlake-like model, TPLRU
@@ -46,6 +60,17 @@ pub fn base_config() -> SimConfig {
     }
 }
 
+/// A deliberately induced failure, for testing the harness's isolation
+/// paths without corrupting real simulator state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// The job panics before simulating (exercises `catch_unwind`).
+    Panic,
+    /// The job runs with a 1-cycle stall threshold, guaranteeing the
+    /// forward-progress watchdog fires (exercises [`SimAbort::Stalled`]).
+    Stall,
+}
+
 /// One simulation job: a benchmark under a configuration.
 #[derive(Debug, Clone)]
 pub struct Job {
@@ -53,6 +78,9 @@ pub struct Job {
     pub profile: Profile,
     /// Full configuration (policy included).
     pub config: SimConfig,
+    /// Optional fault-injection drill (also settable campaign-wide via
+    /// `EMISSARY_INJECT_PANIC=<benchmark>/<policy>`).
+    pub inject: Option<FaultInjection>,
 }
 
 impl Job {
@@ -61,33 +89,71 @@ impl Job {
         Self {
             profile,
             config: template.clone().with_policy(policy),
+            inject: None,
         }
     }
 
     /// Runs the job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation aborts (it cannot with fault detection
+    /// disabled, as here).
     pub fn run(&self) -> SimReport {
         self.run_observed().report
     }
 
-    /// Runs the job with observability configured from the environment:
-    /// `EMISSARY_SAMPLE_INTERVAL` enables interval sampling and
-    /// `EMISSARY_TRACE_OUT=<dir>` streams the job's event trace to
-    /// `<dir>/<seq>_<benchmark>_<policy>.jsonl` (the sequence number
-    /// keeps files from jobs that share a benchmark and policy apart).
-    /// With neither variable set this is exactly [`Job::run`].
+    /// Runs the job with observability from the environment and no fault
+    /// detection. With neither observability variable set this is exactly
+    /// [`Job::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation aborts (it cannot with fault detection
+    /// disabled, as here).
     pub fn run_observed(&self) -> SimRun {
+        self.run_checked(&FaultConfig::none())
+            .expect("FaultConfig::none() disables every abort path")
+    }
+
+    /// Runs the job under a fault detector, with observability configured
+    /// from the environment: `EMISSARY_SAMPLE_INTERVAL` enables interval
+    /// sampling and `EMISSARY_TRACE_OUT=<dir>` streams the job's event
+    /// trace to `<dir>/<config-hash>_<benchmark>_<policy>.jsonl`. The
+    /// leading config hash is the job's stable fingerprint hash (see
+    /// [`checkpoint::config_hash`]), so re-running a campaign overwrites
+    /// each job's trace file in place instead of minting a fresh sequence
+    /// number per process.
+    pub fn run_checked(&self, fault: &FaultConfig) -> Result<SimRun, SimAbort> {
+        let mut fault = fault.clone();
+        match self.effective_injection() {
+            Some(FaultInjection::Panic) => panic!(
+                "injected panic for {}/{}",
+                self.profile.name, self.config.l2_policy
+            ),
+            Some(FaultInjection::Stall) => fault.stall_cycles = Some(1),
+            None => {}
+        }
         let tracer = match scale::trace_out() {
             Some(dir) => {
-                let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
                 let file = format!(
-                    "{seq:03}_{}_{}.jsonl",
+                    "{:016x}_{}_{}.jsonl",
+                    checkpoint::config_hash(self),
                     sanitize(self.profile.name),
                     sanitize(&self.config.l2_policy.to_string())
                 );
                 let _ = std::fs::create_dir_all(&dir);
-                match JsonlSink::create(dir.join(file)) {
+                match JsonlSink::create(dir.join(&file)) {
                     Ok(sink) => Tracer::new(sink),
                     Err(e) => {
+                        // Degrade to an untraced run, but leave a record
+                        // in the experiment's results file.
+                        results::log_trace_error(
+                            self.profile.name,
+                            &self.config.l2_policy.to_string(),
+                            &dir.join(&file).display().to_string(),
+                            &e.to_string(),
+                        );
                         eprintln!("trace: cannot open sink under {}: {e}", dir.display());
                         Tracer::disabled()
                     }
@@ -96,13 +162,21 @@ impl Job {
             None => Tracer::disabled(),
         };
         let obs = ObsConfig::new(tracer, scale::sample_interval());
-        run_sim_observed(&self.profile, &self.config, &obs)
+        run_sim_checked(&self.profile, &self.config, &obs, &fault)
+    }
+
+    /// The injection in effect: the per-job field, or the process-wide
+    /// `EMISSARY_INJECT_PANIC=<benchmark>/<policy>` drill if it names
+    /// this job.
+    fn effective_injection(&self) -> Option<FaultInjection> {
+        if self.inject.is_some() {
+            return self.inject;
+        }
+        let target = scale::inject_panic()?;
+        let me = format!("{}/{}", self.profile.name, self.config.l2_policy);
+        (target == me).then_some(FaultInjection::Panic)
     }
 }
-
-/// Process-wide counter distinguishing trace files from identically
-/// configured jobs.
-static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Replaces filesystem-hostile characters in policy notation
 /// (`P(8):S&E&R(1/32)`) for use in trace file names.
@@ -136,5 +210,21 @@ mod tests {
         );
         let r = job.run();
         assert!(r.committed >= 8_000);
+    }
+
+    #[test]
+    fn injected_panic_names_the_job() {
+        let job = Job {
+            inject: Some(FaultInjection::Panic),
+            ..Job::new(
+                Profile::by_name("xapian").unwrap(),
+                &SimConfig::default(),
+                PolicySpec::BASELINE,
+            )
+        };
+        let caught = std::panic::catch_unwind(|| job.run_checked(&FaultConfig::none()));
+        let payload = caught.expect_err("injection must panic");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("xapian/M:1"), "payload was {msg:?}");
     }
 }

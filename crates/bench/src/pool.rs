@@ -1,17 +1,180 @@
-//! A minimal scoped thread pool for running simulation jobs in parallel.
+//! A minimal scoped thread pool for running simulation jobs in parallel,
+//! with fault isolation.
 //!
 //! Simulations are CPU-bound and independent; a shared atomic cursor over
 //! the job list gives near-perfect load balancing without external
-//! dependencies.
+//! dependencies. Every job runs under `catch_unwind` plus the simulator's
+//! fault detector, so one panicking, stalling, or over-budget simulation
+//! produces a [`JobOutcome`] describing the failure instead of tearing
+//! down the whole campaign — the worker that caught it moves straight on
+//! to the next job. Completed (and failed) outcomes stream to the active
+//! campaign's checkpoint file as they finish (see [`crate::checkpoint`]).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
-use emissary_sim::{SimReport, SimRun};
+use emissary_sim::{ConfigError, FaultConfig, SimAbort, SimReport, SimRun};
 
+use crate::checkpoint::{self, fingerprint, Campaign};
 use crate::{scale, Job};
+
+/// What happened to one pool job. The pool always returns one outcome per
+/// job, in job order — failures never drop rows or abort the campaign.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// The simulation ran to completion (possibly replayed from the
+    /// campaign checkpoint, in which case `resumed` is set).
+    Completed {
+        /// The run and its observability by-products (boxed — a `SimRun`
+        /// dwarfs the failure variants).
+        run: Box<SimRun>,
+        /// Replayed from a checkpoint instead of simulated.
+        resumed: bool,
+    },
+    /// The job's worker caught a panic.
+    Panicked {
+        /// Benchmark name (job identity — the run produced no report).
+        benchmark: String,
+        /// L2 policy notation (job identity).
+        policy: String,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// The fault detector aborted the run (wall-clock budget, stall
+    /// watchdog, or invariant audit).
+    Aborted {
+        /// Benchmark name.
+        benchmark: String,
+        /// L2 policy notation.
+        policy: String,
+        /// The structured abort, including diagnostics.
+        abort: SimAbort,
+    },
+    /// Config validation rejected the job before it ran.
+    Rejected {
+        /// Benchmark name.
+        benchmark: String,
+        /// L2 policy notation.
+        policy: String,
+        /// Why the configuration is degenerate.
+        error: ConfigError,
+    },
+}
+
+impl JobOutcome {
+    /// The completed run, if any.
+    pub fn run(&self) -> Option<&SimRun> {
+        match self {
+            JobOutcome::Completed { run, .. } => Some(run),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its completed run, if any.
+    pub fn into_run(self) -> Option<SimRun> {
+        match self {
+            JobOutcome::Completed { run, .. } => Some(*run),
+            _ => None,
+        }
+    }
+
+    /// Machine-readable status ("completed" / "panicked" / the abort kind
+    /// / "rejected").
+    pub fn status(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed { .. } => "completed",
+            JobOutcome::Panicked { .. } => "panicked",
+            JobOutcome::Aborted { abort, .. } => abort.kind(),
+            JobOutcome::Rejected { .. } => "rejected",
+        }
+    }
+
+    /// The job's benchmark name.
+    pub fn benchmark(&self) -> &str {
+        match self {
+            JobOutcome::Completed { run, .. } => &run.report.benchmark,
+            JobOutcome::Panicked { benchmark, .. }
+            | JobOutcome::Aborted { benchmark, .. }
+            | JobOutcome::Rejected { benchmark, .. } => benchmark,
+        }
+    }
+
+    /// The job's L2 policy notation.
+    pub fn policy(&self) -> &str {
+        match self {
+            JobOutcome::Completed { run, .. } => &run.report.policy,
+            JobOutcome::Panicked { policy, .. }
+            | JobOutcome::Aborted { policy, .. }
+            | JobOutcome::Rejected { policy, .. } => policy,
+        }
+    }
+
+    /// One-line human-readable description of a failure (empty for
+    /// completed runs).
+    pub fn describe(&self) -> String {
+        match self {
+            JobOutcome::Completed { .. } => String::new(),
+            JobOutcome::Panicked { message, .. } => format!("panicked: {message}"),
+            JobOutcome::Aborted { abort, .. } => abort.to_string(),
+            JobOutcome::Rejected { error, .. } => error.to_string(),
+        }
+    }
+}
+
+/// Pool-wide execution options. Unlike [`FaultConfig`], the wall-clock
+/// budget here is per *job*: each job's deadline starts when a worker
+/// picks it up.
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// Worker threads (clamped to the job count).
+    pub workers: usize,
+    /// Per-job wall-clock budget.
+    pub timeout: Option<Duration>,
+    /// Forward-progress watchdog threshold in cycles (`None` disables).
+    pub stall_cycles: Option<u64>,
+    /// Run the invariant auditor at epoch boundaries.
+    pub audit: bool,
+}
+
+impl PoolOptions {
+    /// Reads `EMISSARY_THREADS`, `EMISSARY_JOB_TIMEOUT_MS`,
+    /// `EMISSARY_STALL_CYCLES`, and `EMISSARY_AUDIT`.
+    pub fn from_env() -> Self {
+        Self {
+            workers: scale::threads(),
+            timeout: scale::job_timeout_ms().map(Duration::from_millis),
+            stall_cycles: scale::stall_cycles(),
+            audit: scale::audit(),
+        }
+    }
+
+    /// Explicit worker count, no budget, default watchdog, no audit.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            timeout: None,
+            stall_cycles: Some(emissary_sim::fault::DEFAULT_STALL_CYCLES),
+            audit: false,
+        }
+    }
+
+    fn fault_config(&self) -> FaultConfig {
+        FaultConfig {
+            deadline: self.timeout.map(|t| Instant::now() + t),
+            stall_cycles: self.stall_cycles,
+            audit: self.audit,
+        }
+    }
+}
 
 /// Runs all jobs, using up to [`scale::threads`] workers, and returns
 /// reports in job order.
+///
+/// # Panics
+///
+/// Panics on the first failed job (legacy all-or-nothing semantics); use
+/// [`run_parallel_outcomes`] to handle failures row by row.
 pub fn run_parallel(jobs: &[Job]) -> Vec<SimReport> {
     run_parallel_observed(jobs)
         .into_iter()
@@ -19,7 +182,8 @@ pub fn run_parallel(jobs: &[Job]) -> Vec<SimReport> {
         .collect()
 }
 
-/// Runs all jobs on exactly `workers` threads.
+/// Runs all jobs on exactly `workers` threads. Panics on failures, like
+/// [`run_parallel`].
 pub fn run_parallel_with(jobs: &[Job], workers: usize) -> Vec<SimReport> {
     run_parallel_observed_with(jobs, workers)
         .into_iter()
@@ -28,22 +192,67 @@ pub fn run_parallel_with(jobs: &[Job], workers: usize) -> Vec<SimReport> {
 }
 
 /// [`run_parallel`] keeping each run's observability by-products
-/// (interval samples), still in job order.
+/// (interval samples), still in job order. Panics on failures.
 pub fn run_parallel_observed(jobs: &[Job]) -> Vec<SimRun> {
-    run_parallel_observed_with(jobs, scale::threads())
+    expect_all(run_parallel_outcomes(jobs))
 }
 
 /// Runs all jobs on exactly `workers` threads, keeping full [`SimRun`]s.
+/// Panics on failures, like [`run_parallel`].
 pub fn run_parallel_observed_with(jobs: &[Job], workers: usize) -> Vec<SimRun> {
+    let opts = PoolOptions {
+        workers,
+        ..PoolOptions::from_env()
+    };
+    let campaign = checkpoint::global();
+    expect_all(run_parallel_outcomes_with(jobs, &opts, campaign.as_ref()))
+}
+
+fn expect_all(outcomes: Vec<JobOutcome>) -> Vec<SimRun> {
+    outcomes
+        .into_iter()
+        .map(|o| {
+            let label = format!("{}/{}", o.benchmark(), o.policy());
+            let detail = o.describe();
+            o.into_run()
+                .unwrap_or_else(|| panic!("job {label} failed: {detail}"))
+        })
+        .collect()
+}
+
+/// Runs all jobs with options and the active global campaign from the
+/// environment, returning one outcome per job (never panicking on job
+/// failure).
+pub fn run_parallel_outcomes(jobs: &[Job]) -> Vec<JobOutcome> {
+    let campaign = checkpoint::global();
+    run_parallel_outcomes_with(jobs, &PoolOptions::from_env(), campaign.as_ref())
+}
+
+/// Runs all jobs on `opts.workers` threads under fault isolation:
+///
+/// 1. jobs whose fingerprint is completed in `campaign` are replayed from
+///    the checkpoint without simulating;
+/// 2. jobs failing [`emissary_sim::SimConfig::validate`] are rejected
+///    up front;
+/// 3. everything else runs under `catch_unwind` and the fault detector.
+///
+/// Every fresh outcome (success or failure) is recorded to `campaign` as
+/// it finishes. The returned vector has exactly one outcome per job, in
+/// job order.
+pub fn run_parallel_outcomes_with(
+    jobs: &[Job],
+    opts: &PoolOptions,
+    campaign: Option<&Campaign>,
+) -> Vec<JobOutcome> {
     if jobs.is_empty() {
         return Vec::new();
     }
-    let workers = workers.clamp(1, jobs.len());
+    let workers = opts.workers.clamp(1, jobs.len());
     let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<SimRun>> = (0..jobs.len()).map(|_| None).collect();
-    // Workers collect (index, run) pairs locally; results are written
+    let mut slots: Vec<Option<JobOutcome>> = (0..jobs.len()).map(|_| None).collect();
+    // Workers collect (index, outcome) pairs locally; results are written
     // back single-threaded after the scope joins.
-    let results: Vec<(usize, SimRun)> = std::thread::scope(|scope| {
+    let results: Vec<(usize, JobOutcome)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..workers {
             let cursor = &cursor;
@@ -54,14 +263,14 @@ pub fn run_parallel_observed_with(jobs: &[Job], workers: usize) -> Vec<SimRun> {
                     if i >= jobs.len() {
                         break;
                     }
-                    local.push((i, jobs[i].run_observed()));
+                    local.push((i, run_one(&jobs[i], opts, campaign)));
                 }
                 local
             }));
         }
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("simulation worker panicked"))
+            .flat_map(|h| h.join().expect("worker panics are caught per job"))
             .collect()
     });
     for (i, r) in results {
@@ -69,28 +278,88 @@ pub fn run_parallel_observed_with(jobs: &[Job], workers: usize) -> Vec<SimRun> {
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every job produces a report"))
+        .map(|s| s.expect("every job produces an outcome"))
         .collect()
+}
+
+/// Executes one job under the full isolation stack (checkpoint replay →
+/// validation → catch_unwind + fault detector) and records the outcome.
+fn run_one(job: &Job, opts: &PoolOptions, campaign: Option<&Campaign>) -> JobOutcome {
+    let fp = fingerprint(job);
+    if let Some(run) = campaign.and_then(|c| c.cached(&fp)) {
+        return JobOutcome::Completed {
+            run: Box::new(run.clone()),
+            resumed: true,
+        };
+    }
+    let benchmark = job.profile.name.to_string();
+    let policy = job.config.l2_policy.to_string();
+    let outcome = if let Err(error) = job.config.validate() {
+        JobOutcome::Rejected {
+            benchmark,
+            policy,
+            error,
+        }
+    } else {
+        // The job only reads its inputs and builds all simulator state
+        // locally, so resuming the pool after a caught panic cannot
+        // observe broken invariants.
+        match catch_unwind(AssertUnwindSafe(|| job.run_checked(&opts.fault_config()))) {
+            Ok(Ok(run)) => JobOutcome::Completed {
+                run: Box::new(run),
+                resumed: false,
+            },
+            Ok(Err(abort)) => JobOutcome::Aborted {
+                benchmark,
+                policy,
+                abort,
+            },
+            Err(payload) => JobOutcome::Panicked {
+                benchmark,
+                policy,
+                message: panic_message(payload.as_ref()),
+            },
+        }
+    };
+    if let Some(c) = campaign {
+        c.record(&fp, &outcome);
+    }
+    outcome
+}
+
+/// Renders a caught panic payload (the two shapes `panic!` produces).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FaultInjection;
     use emissary_core::spec::PolicySpec;
     use emissary_sim::SimConfig;
     use emissary_workloads::Profile;
 
-    fn quick_jobs(n: usize) -> Vec<Job> {
-        let cfg = SimConfig {
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
             warmup_instrs: 1_000,
             measure_instrs: 5_000,
             ..SimConfig::default()
-        };
+        }
+    }
+
+    fn quick_jobs(n: usize) -> Vec<Job> {
         (0..n)
             .map(|_| {
                 Job::new(
                     Profile::by_name("xapian").unwrap(),
-                    &cfg,
+                    &quick_cfg(),
                     PolicySpec::BASELINE,
                 )
             })
@@ -121,5 +390,81 @@ mod tests {
             .map(|r| r.cycles)
             .collect();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_workers_survive() {
+        // worker 1, jobs [panic, ok, panic, ok]: the single worker must
+        // survive both panics and still complete the healthy jobs.
+        let mut jobs = quick_jobs(4);
+        jobs[0].inject = Some(FaultInjection::Panic);
+        jobs[2].inject = Some(FaultInjection::Panic);
+        let outcomes = run_parallel_outcomes_with(&jobs, &PoolOptions::with_workers(1), None);
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[0].status(), "panicked");
+        assert_eq!(outcomes[1].status(), "completed");
+        assert_eq!(outcomes[2].status(), "panicked");
+        assert_eq!(outcomes[3].status(), "completed");
+        assert_eq!(outcomes[0].benchmark(), "xapian");
+        assert!(outcomes[0].describe().contains("injected panic"));
+    }
+
+    #[test]
+    fn injected_stall_aborts_without_poisoning_the_pool() {
+        let mut jobs = quick_jobs(3);
+        jobs[1].inject = Some(FaultInjection::Stall);
+        let outcomes = run_parallel_outcomes_with(&jobs, &PoolOptions::with_workers(2), None);
+        assert_eq!(outcomes[0].status(), "completed");
+        assert_eq!(outcomes[1].status(), "stalled");
+        assert!(outcomes[1].describe().contains("no commit"));
+        assert_eq!(outcomes[2].status(), "completed");
+    }
+
+    #[test]
+    fn expired_job_budget_times_out() {
+        let jobs = quick_jobs(1);
+        let mut opts = PoolOptions::with_workers(1);
+        opts.timeout = Some(Duration::ZERO);
+        let outcomes = run_parallel_outcomes_with(&jobs, &opts, None);
+        assert_eq!(outcomes[0].status(), "timeout");
+    }
+
+    #[test]
+    fn degenerate_config_is_rejected_up_front() {
+        let mut jobs = quick_jobs(1);
+        jobs[0].config.measure_instrs = 0;
+        let outcomes = run_parallel_outcomes_with(&jobs, &PoolOptions::with_workers(1), None);
+        assert_eq!(outcomes[0].status(), "rejected");
+        assert!(outcomes[0].describe().contains("measure_instrs"));
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_mixed_outcomes() {
+        let mut jobs = quick_jobs(4);
+        jobs[1].inject = Some(FaultInjection::Panic);
+        jobs[2].config.measure_instrs = 0;
+        let serial: Vec<(String, Option<u64>)> =
+            run_parallel_outcomes_with(&jobs, &PoolOptions::with_workers(1), None)
+                .iter()
+                .map(|o| (o.status().to_string(), o.run().map(|r| r.report.cycles)))
+                .collect();
+        let parallel: Vec<(String, Option<u64>)> =
+            run_parallel_outcomes_with(&jobs, &PoolOptions::with_workers(4), None)
+                .iter()
+                .map(|o| (o.status().to_string(), o.run().map(|r| r.report.cycles)))
+                .collect();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[0].0, "completed");
+        assert_eq!(serial[1].0, "panicked");
+        assert_eq!(serial[2].0, "rejected");
+        assert_eq!(serial[3].0, "completed");
+    }
+
+    #[test]
+    #[should_panic(expected = "failed: panicked")]
+    fn legacy_api_panics_on_failure_with_job_identity() {
+        let mut jobs = quick_jobs(1);
+        jobs[0].inject = Some(FaultInjection::Panic);
+        let _ = run_parallel_with(&jobs, 1);
     }
 }

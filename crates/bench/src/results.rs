@@ -8,6 +8,10 @@
 //! * one `report` record per simulation (the full [`SimReport`]);
 //! * one `sample` record per interval sample (when
 //!   `EMISSARY_SAMPLE_INTERVAL` is set);
+//! * one `trace_error` record per event-trace sink that failed to open
+//!   (the affected run proceeded untraced);
+//! * one `job_failure` record per job that panicked, aborted, or was
+//!   rejected by config validation (see [`crate::pool::JobOutcome`]);
 //! * one `table_row` record per rendered table row, keyed by column
 //!   header — these carry exactly the values printed in the `.txt`
 //!   tables, so downstream tooling never has to re-derive or re-parse
@@ -31,10 +35,78 @@ use crate::experiments::Experiment;
 use crate::scale;
 
 static RUN_LOG: Mutex<Vec<SimRun>> = Mutex::new(Vec::new());
+static TRACE_ERRORS: Mutex<Vec<TraceError>> = Mutex::new(Vec::new());
+static FAILURES: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
+
+/// A failed attempt to open a per-job event-trace sink: the run proceeded
+/// untraced, and the experiment's results file records the degradation.
+#[derive(Debug, Clone)]
+pub struct TraceError {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// L2 policy notation.
+    pub policy: String,
+    /// The sink path that could not be created.
+    pub path: String,
+    /// The I/O error message.
+    pub error: String,
+}
+
+/// A job that did not complete (panicked, aborted, or was rejected),
+/// rendered as a `job_failure` record in the experiment's results file.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// L2 policy notation.
+    pub policy: String,
+    /// Machine-readable status (`panicked`/`timeout`/`stalled`/`audit`/
+    /// `rejected`).
+    pub status: String,
+    /// Human-readable failure description.
+    pub detail: String,
+}
 
 /// Appends one run to the process-global run log.
 pub fn log_run(run: &SimRun) {
     RUN_LOG.lock().expect("run log poisoned").push(run.clone());
+}
+
+/// Records a failed trace-sink open in the process-global log.
+pub fn log_trace_error(benchmark: &str, policy: &str, path: &str, error: &str) {
+    TRACE_ERRORS
+        .lock()
+        .expect("trace error log poisoned")
+        .push(TraceError {
+            benchmark: benchmark.to_string(),
+            policy: policy.to_string(),
+            path: path.to_string(),
+            error: error.to_string(),
+        });
+}
+
+impl JobFailure {
+    /// Extracts the failure description from an outcome (`None` for
+    /// completed runs).
+    pub fn from_outcome(outcome: &crate::pool::JobOutcome) -> Option<JobFailure> {
+        if outcome.run().is_some() {
+            return None;
+        }
+        Some(JobFailure {
+            benchmark: outcome.benchmark().to_string(),
+            policy: outcome.policy().to_string(),
+            status: outcome.status().to_string(),
+            detail: outcome.describe(),
+        })
+    }
+}
+
+/// Records a failed job outcome in the process-global log (completed
+/// outcomes are ignored).
+pub fn log_failure(outcome: &crate::pool::JobOutcome) {
+    if let Some(f) = JobFailure::from_outcome(outcome) {
+        FAILURES.lock().expect("failure log poisoned").push(f);
+    }
 }
 
 /// Appends runs to the process-global run log (in the given order).
@@ -48,6 +120,16 @@ pub fn log_runs(runs: &[SimRun]) {
 /// Drains the process-global run log.
 pub fn take_logged_runs() -> Vec<SimRun> {
     std::mem::take(&mut *RUN_LOG.lock().expect("run log poisoned"))
+}
+
+/// Drains the process-global trace-error log.
+pub fn take_trace_errors() -> Vec<TraceError> {
+    std::mem::take(&mut *TRACE_ERRORS.lock().expect("trace error log poisoned"))
+}
+
+/// Drains the process-global job-failure log.
+pub fn take_failures() -> Vec<JobFailure> {
+    std::mem::take(&mut *FAILURES.lock().expect("failure log poisoned"))
 }
 
 /// Renders `exp` to stdout and writes `results/<name>.jsonl` (reporting
@@ -66,8 +148,10 @@ pub fn write_experiment(name: &str, exp: &Experiment) -> io::Result<PathBuf> {
     let dir = Path::new("results");
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.jsonl"));
+    let trace_errors = take_trace_errors();
+    let failures = take_failures();
     let mut out = BufWriter::new(fs::File::create(&path)?);
-    write_records(&mut out, name, exp, &runs)?;
+    write_records(&mut out, name, exp, &runs, &trace_errors, &failures)?;
     out.flush()?;
     Ok(path)
 }
@@ -79,6 +163,8 @@ pub fn write_records(
     name: &str,
     exp: &Experiment,
     runs: &[SimRun],
+    trace_errors: &[TraceError],
+    failures: &[JobFailure],
 ) -> io::Result<()> {
     let mut meta = JsonObject::new();
     meta.field_str("record", "meta")
@@ -102,6 +188,24 @@ pub fn write_records(
                 .field_raw("sample", &sample.to_json());
             writeln!(out, "{}", obj.finish())?;
         }
+    }
+    for te in trace_errors {
+        let mut obj = JsonObject::new();
+        obj.field_str("record", "trace_error")
+            .field_str("benchmark", &te.benchmark)
+            .field_str("policy", &te.policy)
+            .field_str("path", &te.path)
+            .field_str("error", &te.error);
+        writeln!(out, "{}", obj.finish())?;
+    }
+    for f in failures {
+        let mut obj = JsonObject::new();
+        obj.field_str("record", "job_failure")
+            .field_str("benchmark", &f.benchmark)
+            .field_str("policy", &f.policy)
+            .field_str("status", &f.status)
+            .field_str("detail", &f.detail);
+        writeln!(out, "{}", obj.finish())?;
     }
     for (caption, table) in &exp.tables {
         for row in table.rows() {
@@ -135,6 +239,7 @@ mod tests {
         let job = crate::Job {
             profile: Profile::by_name("xapian").unwrap(),
             config: cfg,
+            inject: None,
         };
         job.run_observed()
     }
@@ -149,7 +254,15 @@ mod tests {
         };
         let run = tiny_run();
         let mut buf = Vec::new();
-        write_records(&mut buf, "test_exp", &exp, std::slice::from_ref(&run)).unwrap();
+        write_records(
+            &mut buf,
+            "test_exp",
+            &exp,
+            std::slice::from_ref(&run),
+            &[],
+            &[],
+        )
+        .unwrap();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         // meta + 1 report (no samples without the env var) + 1 table row.
@@ -163,6 +276,36 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn failure_and_trace_error_records_are_emitted() {
+        let exp = Experiment {
+            title: "Failure test".into(),
+            tables: Vec::new(),
+        };
+        let trace_errors = vec![TraceError {
+            benchmark: "xapian".into(),
+            policy: "M:1".into(),
+            path: "traces/x.jsonl".into(),
+            error: "permission denied".into(),
+        }];
+        let failures = vec![JobFailure {
+            benchmark: "verilator".into(),
+            policy: "P(8):S".into(),
+            status: "panicked".into(),
+            detail: "panicked: injected panic".into(),
+        }];
+        let mut buf = Vec::new();
+        write_records(&mut buf, "fail_exp", &exp, &[], &trace_errors, &failures).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("\"record\":\"trace_error\""));
+        assert!(lines[1].contains("\"error\":\"permission denied\""));
+        assert!(lines[2].contains("\"record\":\"job_failure\""));
+        assert!(lines[2].contains("\"status\":\"panicked\""));
+        assert!(lines[2].contains("\"benchmark\":\"verilator\""));
     }
 
     #[test]

@@ -53,6 +53,55 @@ pub fn trace_out() -> Option<PathBuf> {
         .map(PathBuf::from)
 }
 
+/// Per-job wall-clock budget in milliseconds (`EMISSARY_JOB_TIMEOUT_MS`;
+/// unset or `0` disables the budget). The deadline starts when the job
+/// starts, not when the campaign does.
+pub fn job_timeout_ms() -> Option<u64> {
+    env::var("EMISSARY_JOB_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .filter(|&v| v > 0)
+}
+
+/// Forward-progress watchdog threshold in cycles
+/// (`EMISSARY_STALL_CYCLES`, default
+/// [`emissary_sim::fault::DEFAULT_STALL_CYCLES`]; `0` disables it).
+pub fn stall_cycles() -> Option<u64> {
+    match env::var("EMISSARY_STALL_CYCLES")
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+    {
+        Some(0) => None,
+        Some(n) => Some(n),
+        None => Some(emissary_sim::fault::DEFAULT_STALL_CYCLES),
+    }
+}
+
+/// Whether the invariant auditor runs at epoch boundaries
+/// (`EMISSARY_AUDIT=1`).
+pub fn audit() -> bool {
+    env::var("EMISSARY_AUDIT")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Whether campaigns resume from their checkpoint files
+/// (`EMISSARY_RESUME=1`).
+pub fn resume() -> bool {
+    env::var("EMISSARY_RESUME")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Fault-injection drill (`EMISSARY_INJECT_PANIC=<benchmark>/<policy>`):
+/// the matching job panics instead of running, exercising the harness's
+/// failure path end to end.
+pub fn inject_panic() -> Option<String> {
+    env::var("EMISSARY_INJECT_PANIC")
+        .ok()
+        .filter(|v| !v.is_empty())
+}
+
 /// Worker threads (`EMISSARY_THREADS`, default: available parallelism).
 pub fn threads() -> usize {
     env::var("EMISSARY_THREADS")
@@ -89,5 +138,31 @@ mod tests {
         // Unset in the test environment: both knobs must read as disabled.
         assert_eq!(sample_interval(), None);
         assert_eq!(trace_out(), None);
+    }
+
+    #[test]
+    fn fault_knobs_default_sanely() {
+        // Unset in the test environment: no budget, watchdog armed at its
+        // default threshold, no injection.
+        assert_eq!(job_timeout_ms(), None);
+        assert_eq!(
+            stall_cycles(),
+            Some(emissary_sim::fault::DEFAULT_STALL_CYCLES)
+        );
+        assert_eq!(inject_panic(), None);
+        // CI runs the suite with EMISSARY_AUDIT=1, so compare the flags
+        // against the live environment instead of assuming unset.
+        assert_eq!(
+            audit(),
+            env::var("EMISSARY_AUDIT")
+                .map(|v| v == "1")
+                .unwrap_or(false)
+        );
+        assert_eq!(
+            resume(),
+            env::var("EMISSARY_RESUME")
+                .map(|v| v == "1")
+                .unwrap_or(false)
+        );
     }
 }

@@ -329,6 +329,93 @@ impl Cache {
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
     }
+
+    /// Test-only mutable access to a way's raw line state, for corrupting
+    /// state in auditor tests.
+    #[cfg(test)]
+    pub(crate) fn line_mut(&mut self, set: usize, way: usize) -> &mut LineState {
+        let idx = self.base(set) + way;
+        &mut self.lines[idx]
+    }
+
+    /// Read-only structural audit of every set (see [`crate::audit`]).
+    ///
+    /// `level` tags the violations with this cache's position in the
+    /// hierarchy. Returns every violation found, so one corrupted set does
+    /// not mask another.
+    pub fn audit(&self, level: emissary_obs::Level) -> Vec<crate::audit::AuditViolation> {
+        use crate::audit::AuditViolation;
+        let mut violations = Vec::new();
+        for set in 0..self.sets {
+            let lines = self.set_slice(set);
+            let valid = lines.iter().filter(|l| l.valid).count();
+            if valid > self.ways {
+                violations.push(AuditViolation {
+                    invariant: "set_occupancy",
+                    level,
+                    set,
+                    detail: valid as u64,
+                    message: format!(
+                        "{} valid lines in a {}-way set of {}",
+                        valid, self.ways, self.cfg.name
+                    ),
+                });
+            }
+            for (way, line) in lines.iter().enumerate() {
+                if !line.valid {
+                    continue;
+                }
+                let home = self.set_of(line.tag);
+                if home != set {
+                    violations.push(AuditViolation {
+                        invariant: "line_placement",
+                        level,
+                        set,
+                        detail: line.tag,
+                        message: format!(
+                            "line {:#x} in way {} of set {} maps to set {} of {}",
+                            line.tag, way, set, home, self.cfg.name
+                        ),
+                    });
+                }
+                if lines[..way].iter().any(|l| l.valid && l.tag == line.tag) {
+                    violations.push(AuditViolation {
+                        invariant: "duplicate_line",
+                        level,
+                        set,
+                        detail: line.tag,
+                        message: format!(
+                            "line {:#x} resident in two ways of set {} of {}",
+                            line.tag, set, self.cfg.name
+                        ),
+                    });
+                }
+                if line.priority && !line.kind.is_instruction() {
+                    violations.push(AuditViolation {
+                        invariant: "priority_on_data",
+                        level,
+                        set,
+                        detail: line.tag,
+                        message: format!(
+                            "data line {:#x} carries the P bit in set {} of {} \
+                             (every marking path is instruction-side)",
+                            line.tag, set, self.cfg.name
+                        ),
+                    });
+                }
+            }
+            if let Some(message) = self.policy.audit_set(set, lines) {
+                violations.push(AuditViolation {
+                    invariant: "policy_state",
+                    level,
+                    set,
+                    detail: 0,
+                    message: format!("{}: {}", self.policy_name(), message),
+                });
+            }
+        }
+        violations
+    }
 }
 
 #[cfg(test)]
@@ -454,6 +541,47 @@ mod tests {
         assert_eq!(c.valid_lines(), 2);
         c.invalidate(1);
         assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn audit_is_clean_after_normal_traffic() {
+        let mut c = small_cache(PolicyKind::Srrip);
+        for l in 0..32u64 {
+            c.lookup(l, &instr());
+            c.fill(l, &instr());
+        }
+        assert!(c.audit(emissary_obs::Level::L2).is_empty());
+    }
+
+    #[test]
+    fn audit_catches_misplaced_and_duplicate_lines() {
+        let mut c = small_cache(PolicyKind::TrueLru);
+        c.fill(0, &instr());
+        c.fill(4, &instr());
+        // Corrupt: retag way 1 of set 0 so it duplicates way 0 (line 0
+        // belongs to set 0, so this is a duplicate, not a misplacement).
+        c.line_mut(0, 1).tag = 0;
+        let v = c.audit(emissary_obs::Level::L2);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "duplicate_line");
+        assert_eq!(v[0].detail, 0);
+        // Corrupt differently: a tag that maps to another set.
+        c.line_mut(0, 1).tag = 1;
+        let v = c.audit(emissary_obs::Level::L2);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "line_placement");
+        assert!(v[0].message.contains("maps to set 1"));
+    }
+
+    #[test]
+    fn audit_catches_priority_bit_on_data_line() {
+        let mut c = small_cache(PolicyKind::TreePlru);
+        c.fill(8, &AccessInfo::demand(LineKind::Data));
+        c.set_priority(8, true);
+        let v = c.audit(emissary_obs::Level::L2);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "priority_on_data");
+        assert_eq!(v[0].detail, 8);
     }
 
     #[test]

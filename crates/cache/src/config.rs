@@ -39,6 +39,30 @@ impl CacheConfig {
         cfg
     }
 
+    /// Checks the geometry without panicking: the typed-validation
+    /// counterpart of the [`Self::new`] asserts, used by
+    /// `SimConfig::validate` to reject degenerate configs before they reach
+    /// the machine. Returns a description of the first problem found.
+    pub fn geometry_error(&self) -> Option<String> {
+        if self.ways == 0 {
+            return Some(format!("{}: ways must be > 0", self.name));
+        }
+        let sets = self.sets();
+        if sets == 0 {
+            return Some(format!(
+                "{}: capacity {} B with {} ways derives zero sets",
+                self.name, self.capacity_bytes, self.ways
+            ));
+        }
+        if !sets.is_power_of_two() {
+            return Some(format!(
+                "{}: derived set count {sets} is not a power of two",
+                self.name
+            ));
+        }
+        None
+    }
+
     /// Number of sets implied by capacity, line size and ways.
     pub fn sets(&self) -> usize {
         (self.capacity_bytes / LINE_BYTES) as usize / self.ways
@@ -105,6 +129,14 @@ impl HierarchyConfig {
             ..Self::alderlake_like()
         }
     }
+
+    /// Checks every cache's geometry without panicking (see
+    /// [`CacheConfig::geometry_error`]). Returns the first problem found.
+    pub fn geometry_error(&self) -> Option<String> {
+        [&self.l1i, &self.l1d, &self.l2, &self.l3]
+            .into_iter()
+            .find_map(CacheConfig::geometry_error)
+    }
 }
 
 impl Default for HierarchyConfig {
@@ -132,6 +164,37 @@ mod tests {
         let f = HierarchyConfig::figure1();
         assert!(!f.l1d_nlp && !f.l2_nlp && !f.l3_nlp);
         assert_eq!(f.l2, HierarchyConfig::alderlake_like().l2);
+    }
+
+    #[test]
+    fn geometry_error_catches_degenerate_shapes_without_panicking() {
+        let good = CacheConfig::new("ok", 32 * 1024, 8, 2);
+        assert_eq!(good.geometry_error(), None);
+        let zero_ways = CacheConfig {
+            name: "bad",
+            capacity_bytes: 1024,
+            ways: 0,
+            hit_latency: 1,
+        };
+        assert!(zero_ways.geometry_error().unwrap().contains("ways"));
+        let zero_sets = CacheConfig {
+            name: "bad",
+            capacity_bytes: 64,
+            ways: 8,
+            hit_latency: 1,
+        };
+        assert!(zero_sets.geometry_error().unwrap().contains("zero sets"));
+        let odd_sets = CacheConfig {
+            name: "bad",
+            capacity_bytes: 3 * 1024,
+            ways: 8,
+            hit_latency: 1,
+        };
+        assert!(odd_sets.geometry_error().unwrap().contains("power of two"));
+        let mut h = HierarchyConfig::alderlake_like();
+        assert_eq!(h.geometry_error(), None);
+        h.l2.ways = 0;
+        assert!(h.geometry_error().is_some());
     }
 
     #[test]

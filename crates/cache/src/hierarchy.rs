@@ -518,6 +518,50 @@ impl Hierarchy {
         self.l2.reset_priorities();
     }
 
+    /// Number of misses currently outstanding (instruction + data in-flight
+    /// tables) — the MSHR population reported in watchdog state dumps.
+    pub fn outstanding_misses(&self) -> usize {
+        self.inflight_instr.len() + self.inflight_data.len()
+    }
+
+    /// Read-only structural audit of the whole hierarchy: every cache's
+    /// per-set invariants (see [`Cache::audit`]) plus the cross-level
+    /// inclusion and exclusivity pairings. Returns every violation found.
+    pub fn audit(&self) -> Vec<crate::audit::AuditViolation> {
+        use crate::audit::AuditViolation;
+        let mut violations = Vec::new();
+        violations.extend(self.l1i.audit(Level::L1));
+        violations.extend(self.l1d.audit(Level::L1));
+        violations.extend(self.l2.audit(Level::L2));
+        violations.extend(self.l3.audit(Level::L3));
+        for l1_line in self.l1i.iter_valid().chain(self.l1d.iter_valid()) {
+            if !self.l2.contains(l1_line.tag) {
+                violations.push(AuditViolation {
+                    invariant: "inclusion",
+                    level: Level::L1,
+                    set: 0,
+                    detail: l1_line.tag,
+                    message: format!("L1 line {:#x} has no copy in the inclusive L2", l1_line.tag),
+                });
+            }
+        }
+        for l3_line in self.l3.iter_valid() {
+            if self.l2.contains(l3_line.tag) {
+                violations.push(AuditViolation {
+                    invariant: "exclusivity",
+                    level: Level::L3,
+                    set: 0,
+                    detail: l3_line.tag,
+                    message: format!(
+                        "line {:#x} resident in both L2 and the exclusive victim L3",
+                        l3_line.tag
+                    ),
+                });
+            }
+        }
+        violations
+    }
+
     /// Checks the inclusion invariant (every valid L1 line resident in L2).
     /// Intended for tests; O(L1 lines) with L2 probes.
     pub fn check_inclusion(&self) -> bool {
@@ -794,6 +838,39 @@ mod tests {
         }
         assert!(h.check_inclusion(), "inclusion violated");
         assert!(h.check_exclusivity(), "exclusivity violated");
+    }
+
+    #[test]
+    fn audit_is_clean_under_random_traffic_and_detects_breakage() {
+        let mut h = tiny();
+        let mut rng = crate::rng::XorShift64::new(0x517e);
+        let mut t = 0u64;
+        for _ in 0..3000 {
+            t += 3;
+            match rng.next_below(3) {
+                0 => {
+                    h.access_instr(rng.next_below(64), t, false);
+                }
+                1 => {
+                    h.access_data(1000 + rng.next_below(64), t, false, false);
+                }
+                _ => {
+                    h.access_data(1000 + rng.next_below(64), t, true, false);
+                }
+            }
+        }
+        assert_eq!(h.audit(), Vec::new());
+        // Break inclusion through the public API: drop an L2 line out from
+        // under its L1I copy.
+        let l1_line = h.l1i.iter_valid().next().expect("L1I populated").tag;
+        h.l2.invalidate(l1_line);
+        let violations = h.audit();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "inclusion" && v.detail == l1_line),
+            "expected an inclusion violation for line {l1_line:#x}: {violations:?}"
+        );
     }
 }
 

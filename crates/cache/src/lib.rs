@@ -37,6 +37,7 @@
 //! ```
 
 pub mod addr;
+pub mod audit;
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
@@ -45,6 +46,7 @@ pub mod policy;
 pub mod rng;
 pub mod stats;
 
+pub use crate::audit::AuditViolation;
 pub use crate::cache::Cache;
 pub use crate::config::{CacheConfig, HierarchyConfig};
 pub use crate::hierarchy::{Hierarchy, MemAccess, ServedBy};

@@ -151,6 +151,15 @@ pub trait ReplacementPolicy: std::fmt::Debug + Send {
     /// this). Default: the tracer is dropped — policies without
     /// decision-level telemetry ignore it.
     fn set_tracer(&mut self, _tracer: emissary_obs::Tracer) {}
+
+    /// Read-only self-check of the policy's metadata for `set` against the
+    /// cache's line states, run by the opt-in invariant auditor
+    /// (`EMISSARY_AUDIT=1`) at epoch boundaries. Returns a description of
+    /// the first inconsistency found, or `None` when the state is sound.
+    /// Default: no policy-specific state to check.
+    fn audit_set(&self, _set: usize, _lines: &[LineState]) -> Option<String> {
+        None
+    }
 }
 
 /// Factory covering the prior-work policies implemented in this crate.

@@ -165,6 +165,29 @@ impl ReplacementPolicy for RripPolicy {
         let i = self.idx(set, way);
         self.rrpv[i] = RRPV_MAX;
     }
+
+    fn audit_set(&self, set: usize, lines: &[LineState]) -> Option<String> {
+        for way in 0..lines.len() {
+            match self.rrpv.get(self.idx(set, way)) {
+                Some(&v) if v > RRPV_MAX => {
+                    return Some(format!(
+                        "rrpv[{set}][{way}] = {v} exceeds the 2-bit maximum {RRPV_MAX}"
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    return Some(format!("rrpv table has no entry for set {set} way {way}"));
+                }
+            }
+        }
+        if self.psel >= 1 << PSEL_BITS {
+            return Some(format!(
+                "psel = {} exceeds the {PSEL_BITS}-bit saturating range",
+                self.psel
+            ));
+        }
+        None
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,23 @@ impl DualRecency {
         }
     }
 
+    /// Ways per set this structure was sized for.
+    pub fn ways(&self) -> usize {
+        match self {
+            DualRecency::TrueLru { ways, .. } | DualRecency::TreePlru { ways, .. } => *ways,
+        }
+    }
+
+    /// Number of sets this structure was sized for.
+    pub fn sets(&self) -> usize {
+        match self {
+            DualRecency::TrueLru { stamps, ways, .. } => {
+                stamps.len().checked_div(*ways).unwrap_or(0)
+            }
+            DualRecency::TreePlru { trees, .. } => trees.len(),
+        }
+    }
+
     /// Records an access to `way` of `set`, updating only the structure of
     /// the accessed line's class (`high`).
     pub fn touch(&mut self, set: usize, way: usize, high: bool) {

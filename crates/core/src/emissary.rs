@@ -156,6 +156,37 @@ impl ReplacementPolicy for EmissaryPolicy {
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
+
+    fn audit_set(&self, set: usize, lines: &[LineState]) -> Option<String> {
+        // N < ways is the constructor invariant: every insertion starts
+        // low-priority, so at least one way must be claimable by them.
+        if self.n_protect >= lines.len() {
+            return Some(format!(
+                "n_protect = {} does not leave a low-priority way in a {}-way set",
+                self.n_protect,
+                lines.len()
+            ));
+        }
+        // The dual-recency structure must be sized to the cache it serves.
+        if self.recency.ways() != lines.len() {
+            return Some(format!(
+                "dual recency sized for {} ways but the set has {}",
+                self.recency.ways(),
+                lines.len()
+            ));
+        }
+        if set >= self.recency.sets() {
+            return Some(format!(
+                "dual recency covers {} sets but was asked about set {set}",
+                self.recency.sets()
+            ));
+        }
+        // No count-vs-N check here: P bits are persistent and not capped at
+        // mark time (Algorithm 1's over-N branch exists precisely because
+        // sets saturate, §6), so high-priority occupancy above N between
+        // evictions is legal state, bounded only by the associativity.
+        None
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +347,27 @@ mod tests {
     #[should_panic]
     fn rejects_n_equal_ways() {
         policy(4, 4);
+    }
+
+    #[test]
+    fn audit_accepts_consistent_state_and_catches_mis_sizing() {
+        let p = policy(2, 4);
+        let lines = mk_lines(&[Some(true), Some(false), Some(true), Some(false)]);
+        assert_eq!(p.audit_set(0, &lines), None);
+        // Saturation above N is legal standing state, not a violation.
+        let saturated = mk_lines(&[Some(true), Some(true), Some(true), Some(true)]);
+        assert_eq!(p.audit_set(0, &saturated), None);
+        // A set the recency structure does not cover is a violation.
+        assert!(p.audit_set(5, &lines).unwrap().contains("covers 1 sets"));
+        // A slice of the wrong width is a violation.
+        let narrow = mk_lines(&[Some(true), Some(false), Some(false)]);
+        assert!(p
+            .audit_set(0, &narrow)
+            .unwrap()
+            .contains("sized for 4 ways"));
+        // As is an N that no longer fits the slice it is audited against.
+        let tiny = mk_lines(&[Some(false), Some(false)]);
+        assert!(p.audit_set(0, &tiny).unwrap().contains("low-priority way"));
     }
 }
 

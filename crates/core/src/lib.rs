@@ -46,4 +46,4 @@ pub use emissary::EmissaryPolicy;
 pub use ghrp::{DeadBlockPredictor, EmissaryGhrpPolicy, GhrpPolicy};
 pub use reset::ResetSchedule;
 pub use selection::{MissFlags, SelectionExpr};
-pub use spec::{ParsePolicyError, PolicySpec};
+pub use spec::{ParsePolicyError, PolicySpec, PolicySpecError};

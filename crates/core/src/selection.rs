@@ -113,6 +113,28 @@ impl SelectionExpr {
         }
     }
 
+    /// Validates an expression that may have been constructed directly
+    /// rather than through [`Self::parse`] (which enforces these rules
+    /// syntactically): a `Conj` must carry at least one term, and an `R`
+    /// term's denominator must be positive (`R(1/0)` would divide by zero
+    /// in the RNG filter).
+    pub fn validate(&self) -> Result<(), String> {
+        if let SelectionExpr::Conj {
+            starvation,
+            empty_iq,
+            random_one_in,
+        } = *self
+        {
+            if !starvation && !empty_iq && random_one_in.is_none() {
+                return Err("selection conjunction has no terms".to_string());
+            }
+            if random_one_in == Some(0) {
+                return Err("R denominator must be positive, got R(1/0)".to_string());
+            }
+        }
+        Ok(())
+    }
+
     /// Whether the equation reads the starvation signal (i.e. the policy
     /// needs the decode-starvation plumbing at all).
     pub fn uses_starvation(&self) -> bool {
@@ -274,6 +296,25 @@ mod tests {
         for s in ["", "X", "S&S", "R(2/3)", "R(1/0)", "R(1/x)", "S&"] {
             assert!(SelectionExpr::parse(s).is_err(), "accepted {s:?}");
         }
+    }
+
+    #[test]
+    fn validate_catches_directly_constructed_degenerates() {
+        assert!(SelectionExpr::Always.validate().is_ok());
+        assert!(SelectionExpr::Never.validate().is_ok());
+        assert!(SelectionExpr::PREFERRED.validate().is_ok());
+        let zero_r = SelectionExpr::Conj {
+            starvation: true,
+            empty_iq: false,
+            random_one_in: Some(0),
+        };
+        assert!(zero_r.validate().unwrap_err().contains("R(1/0)"));
+        let empty = SelectionExpr::Conj {
+            starvation: false,
+            empty_iq: false,
+            random_one_in: None,
+        };
+        assert!(empty.validate().unwrap_err().contains("no terms"));
     }
 
     #[test]

@@ -115,6 +115,32 @@ impl PolicySpec {
         self.selection().is_some_and(|s| s.uses_starvation())
     }
 
+    /// Validates the spec against the target L2 geometry, returning the
+    /// typed error that [`Self::build_l2_policy_with`] would otherwise
+    /// panic over (or that a hand-constructed selection would trip deep
+    /// inside the machine).
+    ///
+    /// `P(0)` is valid — "An N of 0 is equivalent to the baseline" (§5.5) —
+    /// but a positive `N` must leave at least one way for low-priority
+    /// insertions (`N < ways`).
+    pub fn validate(&self, ways: usize) -> Result<(), PolicySpecError> {
+        if let Some(selection) = self.selection() {
+            selection
+                .validate()
+                .map_err(|message| PolicySpecError::InvalidSelection { message })?;
+        }
+        match *self {
+            PolicySpec::Protect { n, .. }
+            | PolicySpec::ProtectBypass { n, .. }
+            | PolicySpec::ProtectGhrp { n, .. }
+                if n > 0 && n >= ways =>
+            {
+                Err(PolicySpecError::ProtectExceedsAssociativity { n, ways })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Builds the L2 policy with the evaluation default (TPLRU recency).
     pub fn build_l2_policy(
         &self,
@@ -200,6 +226,41 @@ impl std::fmt::Display for PolicySpec {
         }
     }
 }
+
+/// Why a [`PolicySpec`] is invalid for a target cache geometry (see
+/// [`PolicySpec::validate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicySpecError {
+    /// `P(N)` with a positive `N >= ways`: every insertion starts
+    /// low-priority, so protecting all ways would leave fills nowhere to go.
+    ProtectExceedsAssociativity {
+        /// The requested protection count.
+        n: usize,
+        /// The target associativity.
+        ways: usize,
+    },
+    /// The selection expression is degenerate (empty conjunction or an
+    /// `R(1/0)` random filter).
+    InvalidSelection {
+        /// What is wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PolicySpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicySpecError::ProtectExceedsAssociativity { n, ways } => {
+                write!(f, "P({n}) requires N < ways, but the L2 is only {ways}-way")
+            }
+            PolicySpecError::InvalidSelection { message } => {
+                write!(f, "invalid selection expression: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicySpecError {}
 
 /// Error parsing a [`PolicySpec`] from its notation string.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -315,6 +376,55 @@ mod tests {
         assert!(PolicySpec::PREFERRED.uses_starvation());
         assert!(!PolicySpec::bip(32).uses_starvation());
         assert_eq!(PolicySpec::Drrip.selection(), None);
+    }
+
+    #[test]
+    fn validate_accepts_paper_policies_and_rejects_degenerates() {
+        for spec in [
+            PolicySpec::BASELINE,
+            PolicySpec::LIP,
+            PolicySpec::PREFERRED,
+            PolicySpec::bip(32),
+            PolicySpec::Drrip,
+            PolicySpec::emissary(15, SelectionExpr::PREFERRED),
+        ] {
+            assert_eq!(spec.validate(16), Ok(()), "{spec}");
+        }
+        // P(0) is the baseline (§5.5), valid at any associativity.
+        assert_eq!(
+            PolicySpec::emissary(0, SelectionExpr::PREFERRED).validate(1),
+            Ok(())
+        );
+        // Positive N must stay below the associativity, for every variant.
+        for spec in [
+            PolicySpec::emissary(16, SelectionExpr::PREFERRED),
+            PolicySpec::ProtectBypass {
+                n: 20,
+                selection: SelectionExpr::PREFERRED,
+            },
+            PolicySpec::ProtectGhrp {
+                n: 16,
+                selection: SelectionExpr::PREFERRED,
+            },
+        ] {
+            match spec.validate(16) {
+                Err(PolicySpecError::ProtectExceedsAssociativity { ways: 16, .. }) => {}
+                other => panic!("{spec}: expected associativity error, got {other:?}"),
+            }
+        }
+        // Degenerate selections are caught even when constructed directly.
+        let zero_r = PolicySpec::emissary(
+            8,
+            SelectionExpr::Conj {
+                starvation: true,
+                empty_iq: true,
+                random_one_in: Some(0),
+            },
+        );
+        assert!(matches!(
+            zero_r.validate(16),
+            Err(PolicySpecError::InvalidSelection { .. })
+        ));
     }
 
     #[test]

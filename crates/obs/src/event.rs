@@ -110,6 +110,22 @@ pub enum TraceEvent {
         /// Cycle the episode started (duration = cycle - start_cycle).
         start_cycle: u64,
     },
+    /// The invariant auditor (`EMISSARY_AUDIT=1`) found simulated state
+    /// violating a structural invariant.
+    AuditViolation {
+        /// Cycle the audit ran.
+        cycle: u64,
+        /// Stable name of the violated invariant (e.g.
+        /// `"set_occupancy"`, `"inclusion"`, `"rrip_range"`).
+        invariant: &'static str,
+        /// Hierarchy level the violation was found at.
+        level: Level,
+        /// Set index involved (0 for whole-cache invariants).
+        set: u32,
+        /// Invariant-specific detail (an offending count, way, or line
+        /// address).
+        detail: u64,
+    },
 }
 
 impl TraceEvent {
@@ -122,7 +138,8 @@ impl TraceEvent {
             | TraceEvent::PriorityMark { cycle, .. }
             | TraceEvent::Protect { cycle, .. }
             | TraceEvent::StarveStart { cycle, .. }
-            | TraceEvent::StarveEnd { cycle, .. } => cycle,
+            | TraceEvent::StarveEnd { cycle, .. }
+            | TraceEvent::AuditViolation { cycle, .. } => cycle,
         }
     }
 
@@ -136,6 +153,7 @@ impl TraceEvent {
             TraceEvent::Protect { .. } => "protect",
             TraceEvent::StarveStart { .. } => "starve_start",
             TraceEvent::StarveEnd { .. } => "starve_end",
+            TraceEvent::AuditViolation { .. } => "audit_violation",
         }
     }
 
@@ -195,6 +213,18 @@ impl TraceEvent {
                 obj.field_u64("start_cycle", start_cycle);
                 obj.field_u64("duration", cycle.saturating_sub(start_cycle));
             }
+            TraceEvent::AuditViolation {
+                invariant,
+                level,
+                set,
+                detail,
+                ..
+            } => {
+                obj.field_str("invariant", invariant);
+                obj.field_str("level", level.as_str());
+                obj.field_u64("set", u64::from(set));
+                obj.field_u64("detail", detail);
+            }
         }
         obj.finish()
     }
@@ -217,6 +247,23 @@ mod tests {
         let json = ev.to_json();
         assert!(json.contains("\"duration\":20"));
         assert!(json.contains("\"source\":\"memory\""));
+    }
+
+    #[test]
+    fn audit_violation_serializes_invariant_name() {
+        let ev = TraceEvent::AuditViolation {
+            cycle: 9,
+            invariant: "set_occupancy",
+            level: Level::L2,
+            set: 3,
+            detail: 17,
+        };
+        assert_eq!(ev.kind(), "audit_violation");
+        assert_eq!(
+            ev.to_json(),
+            "{\"event\":\"audit_violation\",\"cycle\":9,\
+             \"invariant\":\"set_occupancy\",\"level\":\"l2\",\"set\":3,\"detail\":17}"
+        );
     }
 
     #[test]

@@ -23,12 +23,14 @@
 
 pub mod event;
 pub mod json;
+pub mod parse;
 pub mod sample;
 pub mod sink;
 pub mod tracer;
 
 pub use event::{Level, TraceEvent};
 pub use json::JsonObject;
+pub use parse::{JsonParseError, JsonValue};
 pub use sample::{interval_chunks, IntervalSample, SampleCounters, SampleSeries};
 pub use sink::{JsonlSink, NullSink, RingBuffer, RingSink, TraceSink};
 pub use tracer::Tracer;

@@ -1,0 +1,458 @@
+//! A minimal hand-rolled JSON parser, the reader counterpart of
+//! [`crate::json`].
+//!
+//! The build environment cannot reach a cargo registry, so checkpoint
+//! restore (`bench`'s `results/<name>.ckpt.jsonl`) parses its own records
+//! with this module instead of `serde_json`. Numbers are kept as their raw
+//! source text ([`JsonValue::Num`]) so `f64` fields written with the
+//! shortest-round-trip `Display` format restore bit-identically via
+//! `str::parse::<f64>` — a requirement for the resume-equals-fresh
+//! byte-identity guarantee.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw source text for lossless restore.
+    Num(String),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one complete JSON document, rejecting trailing garbage.
+    pub fn parse(src: &str) -> Result<JsonValue, JsonParseError> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Looks up a key in an object; `None` for other value kinds or a
+    /// missing key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, when it is a number that parses as one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`. Numbers parse from their raw text (exact for
+    /// values written by [`crate::json::write_f64`]); `null` maps to NaN,
+    /// matching the writer's non-finite-to-null convention.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            JsonValue::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// What went wrong.
+    pub message: &'static str,
+    /// Byte offset into the source where it went wrong.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &'static str) -> JsonParseError {
+        JsonParseError {
+            message,
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, text: &'static str, message: &'static str) -> Result<(), JsonParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self
+                .literal("true", "expected `true`")
+                .map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self
+                .literal("false", "expected `false`")
+                .map(|()| JsonValue::Bool(false)),
+            Some(b'n') => self
+                .literal("null", "expected `null`")
+                .map(|()| JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{', "expected `{`")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected `:` after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest run of plain bytes in one go.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\u`-escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                self.literal("\\u", "expected low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).ok_or_else(|| self.err("invalid code point"))?
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("expected four hex digits")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(self.err("expected digits in number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(self.err("expected digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number spans ASCII bytes")
+            .to_string();
+        Ok(JsonValue::Num(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse(" false ").unwrap(), JsonValue::Bool(false));
+        assert_eq!(
+            JsonValue::parse("42").unwrap(),
+            JsonValue::Num("42".to_string())
+        );
+        assert_eq!(
+            JsonValue::parse("\"hi\"").unwrap(),
+            JsonValue::Str("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn numbers_keep_raw_text_for_lossless_f64_restore() {
+        for v in [1.25_f64, -0.0001, 0.1 + 0.2, f64::MAX, 1e-300] {
+            let mut buf = String::new();
+            crate::json::write_f64(&mut buf, v);
+            let parsed = JsonValue::parse(&buf).unwrap();
+            assert_eq!(parsed.as_f64().unwrap().to_bits(), v.to_bits());
+            // And re-serializing the raw text is byte-identical.
+            match parsed {
+                JsonValue::Num(raw) => assert_eq!(raw, buf),
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn null_restores_as_nan_matching_writer_convention() {
+        let mut buf = String::new();
+        crate::json::write_f64(&mut buf, f64::NAN);
+        let parsed = JsonValue::parse(&buf).unwrap();
+        assert!(parsed.as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn round_trips_writer_output() {
+        let mut obj = crate::json::JsonObject::new();
+        obj.field_str("name", "fig\"1\"\n")
+            .field_u64("runs", 3)
+            .field_i64("delta", -2)
+            .field_f64("ipc", 1.5)
+            .field_bool("ok", true)
+            .field_u64_array("hist", &[1, 2, 3]);
+        let text = obj.finish();
+        let v = JsonValue::parse(&text).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("fig\"1\"\n"));
+        assert_eq!(v.get("runs").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("ipc").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let hist: Vec<u64> = v
+            .get("hist")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        assert_eq!(hist, vec![1, 2, 3]);
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = JsonValue::parse(r#"{"a":[{"b":1},{"b":2}],"c":{"d":null}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[1].get("b").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("c").unwrap().get("d"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn decodes_unicode_escapes_and_surrogate_pairs() {
+        let v = JsonValue::parse(r#""Aé😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{} extra",
+            "1e",
+            "-",
+            "{\"a\" 1}",
+        ] {
+            assert!(
+                JsonValue::parse(bad).is_err(),
+                "accepted malformed: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn accessors_reject_wrong_kinds() {
+        let v = JsonValue::parse("\"str\"").unwrap();
+        assert_eq!(v.as_u64(), None);
+        assert_eq!(v.as_f64(), None);
+        assert_eq!(v.as_bool(), None);
+        assert!(v.as_array().is_none());
+        assert!(v.get("k").is_none());
+    }
+}

@@ -69,6 +69,36 @@ pub struct IntervalSample {
 }
 
 impl IntervalSample {
+    /// Restores a sample from a parsed [`Self::to_json`] object.
+    ///
+    /// Returns `None` when a field is missing or the wrong shape. `f64`
+    /// fields restore bit-identically because the parser keeps numbers as
+    /// raw text (see [`crate::parse`]).
+    pub fn from_json(v: &crate::parse::JsonValue) -> Option<IntervalSample> {
+        let u = |key: &str| v.get(key)?.as_u64();
+        let f = |key: &str| v.get(key)?.as_f64();
+        let hist_vals = v.get("priority_histogram")?.as_array()?;
+        let mut priority_histogram = [0u64; 9];
+        if hist_vals.len() != priority_histogram.len() {
+            return None;
+        }
+        for (slot, val) in priority_histogram.iter_mut().zip(hist_vals) {
+            *slot = val.as_u64()?;
+        }
+        Some(IntervalSample {
+            index: u("index")?,
+            instructions: u("instructions")?,
+            cycles: u("cycles")?,
+            delta_instructions: u("delta_instructions")?,
+            delta_cycles: u("delta_cycles")?,
+            ipc: f("ipc")?,
+            l1i_mpki: f("l1i_mpki")?,
+            l2i_mpki: f("l2i_mpki")?,
+            starvation_cycles: u("starvation_cycles")?,
+            priority_histogram,
+        })
+    }
+
     /// Serializes the sample as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut obj = JsonObject::new();
@@ -203,6 +233,29 @@ mod tests {
         assert_eq!(s[1].l2i_mpki, 1.0);
         assert_eq!(s[1].starvation_cycles, 50);
         assert_eq!(s[1].priority_histogram, [1; 9]);
+    }
+
+    #[test]
+    fn sample_json_round_trips_bit_identically() {
+        let mut series = SampleSeries::new();
+        series.record(
+            SampleCounters {
+                instructions: 1000,
+                cycles: 3333,
+                l1i_misses: 7,
+                l2i_misses: 3,
+                starvation_cycles: 11,
+            },
+            [0, 1, 2, 3, 4, 5, 6, 7, 8],
+        );
+        let original = &series.samples()[0];
+        let text = original.to_json();
+        let parsed = crate::parse::JsonValue::parse(&text).unwrap();
+        let restored = IntervalSample::from_json(&parsed).unwrap();
+        assert_eq!(&restored, original);
+        // Re-serialization is byte-identical: resume-from-checkpoint can
+        // reproduce an uninterrupted campaign's output exactly.
+        assert_eq!(restored.to_json(), text);
     }
 
     #[test]

@@ -3,8 +3,59 @@
 use emissary_cache::config::HierarchyConfig;
 use emissary_cache::policy::PolicyKind;
 use emissary_core::dual::RecencyFlavor;
-use emissary_core::spec::PolicySpec;
+use emissary_core::spec::{PolicySpec, PolicySpecError};
 use emissary_frontend::FrontendConfig;
+
+/// Why a [`SimConfig`] was rejected before simulation started.
+///
+/// Returned by [`SimConfig::validate`]; the experiment harness rejects a
+/// job carrying a degenerate configuration up front instead of letting it
+/// panic (or silently misbehave) deep inside the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A cache's geometry is degenerate (zero ways, zero sets, or a
+    /// non-power-of-two set count).
+    Geometry(String),
+    /// The L2 policy is inconsistent with the L2 geometry or carries a
+    /// degenerate selection expression.
+    Policy(PolicySpecError),
+    /// `measure_instrs == 0`: the measurement window would never end a
+    /// sample and every rate metric would divide by zero.
+    ZeroMeasureWindow,
+    /// The warmup exceeds the measurement window — almost always a swapped
+    /// pair of arguments, and never a configuration the paper's §5.1
+    /// protocol (short warmup, long measurement) would produce.
+    WarmupExceedsMeasure {
+        /// Configured warmup instructions.
+        warmup: u64,
+        /// Configured measurement instructions.
+        measure: u64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Geometry(msg) => write!(f, "cache geometry: {msg}"),
+            ConfigError::Policy(e) => write!(f, "l2 policy: {e}"),
+            ConfigError::ZeroMeasureWindow => {
+                f.write_str("measure_instrs is zero; the measurement window would be empty")
+            }
+            ConfigError::WarmupExceedsMeasure { warmup, measure } => write!(
+                f,
+                "warmup_instrs ({warmup}) exceeds measure_instrs ({measure})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<PolicySpecError> for ConfigError {
+    fn from(e: PolicySpecError) -> Self {
+        ConfigError::Policy(e)
+    }
+}
 
 /// Core pipeline parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,6 +190,28 @@ impl SimConfig {
         self.l2_policy = policy;
         self
     }
+
+    /// Checks the configuration for degenerate values that would panic (or
+    /// quietly corrupt metrics) deep inside the machine: bad cache
+    /// geometry, a protect-`N` at or above the L2 associativity, invalid
+    /// selection expressions, an empty measurement window, or a warmup
+    /// longer than the window it is supposed to warm up for.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(msg) = self.hierarchy.geometry_error() {
+            return Err(ConfigError::Geometry(msg));
+        }
+        self.l2_policy.validate(self.hierarchy.l2.ways)?;
+        if self.measure_instrs == 0 {
+            return Err(ConfigError::ZeroMeasureWindow);
+        }
+        if self.warmup_instrs > self.measure_instrs {
+            return Err(ConfigError::WarmupExceedsMeasure {
+                warmup: self.warmup_instrs,
+                measure: self.measure_instrs,
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +242,96 @@ mod tests {
     fn with_policy_builder() {
         let cfg = SimConfig::default().with_policy(PolicySpec::PREFERRED);
         assert_eq!(cfg.l2_policy, PolicySpec::PREFERRED);
+    }
+
+    #[test]
+    fn validate_accepts_shipped_configurations() {
+        for cfg in [
+            SimConfig::default(),
+            SimConfig::figure1(),
+            SimConfig::default().with_policy(PolicySpec::PREFERRED),
+            SimConfig::default().with_policy("DRRIP".parse().unwrap()),
+            SimConfig::default().with_policy("P(8):S&E&R(1/32)+BYPASS".parse().unwrap()),
+            SimConfig::default().with_policy("P(8):S&E&R(1/32)+GHRP".parse().unwrap()),
+        ] {
+            assert_eq!(cfg.validate(), Ok(()), "rejected {:?}", cfg.l2_policy);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_inputs() {
+        // Table-driven: one mutation per row, with the variant we expect.
+        let base = SimConfig::default;
+        let cases: Vec<(&str, SimConfig, fn(&ConfigError) -> bool)> = vec![
+            (
+                "zero ways",
+                {
+                    let mut c = base();
+                    c.hierarchy.l2.ways = 0;
+                    c
+                },
+                |e| matches!(e, ConfigError::Geometry(_)),
+            ),
+            (
+                "zero sets",
+                {
+                    let mut c = base();
+                    c.hierarchy.l1i.capacity_bytes = 0;
+                    c
+                },
+                |e| matches!(e, ConfigError::Geometry(_)),
+            ),
+            (
+                "non-power-of-two sets",
+                {
+                    let mut c = base();
+                    c.hierarchy.l3.capacity_bytes = 3 * 64 * c.hierarchy.l3.ways as u64;
+                    c
+                },
+                |e| matches!(e, ConfigError::Geometry(_)),
+            ),
+            (
+                "protect-N at associativity",
+                {
+                    let mut c = base().with_policy(PolicySpec::PREFERRED);
+                    c.hierarchy.l2.ways = 8;
+                    c.l2_policy = "P(8):S".parse().unwrap();
+                    c
+                },
+                |e| matches!(e, ConfigError::Policy(_)),
+            ),
+            (
+                "zero measurement window",
+                {
+                    let mut c = base();
+                    c.measure_instrs = 0;
+                    c
+                },
+                |e| matches!(e, ConfigError::ZeroMeasureWindow),
+            ),
+            (
+                "warmup exceeds measure",
+                {
+                    let mut c = base();
+                    c.warmup_instrs = c.measure_instrs + 1;
+                    c
+                },
+                |e| matches!(e, ConfigError::WarmupExceedsMeasure { .. }),
+            ),
+        ];
+        for (label, cfg, expect) in cases {
+            let err = cfg.validate().expect_err(label);
+            assert!(expect(&err), "{label}: unexpected error {err}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn geometry_error_reported_before_policy_error() {
+        // P(15) on a 0-way L2 must fail on geometry, not panic computing
+        // sets() or report the policy mismatch first.
+        let mut c = SimConfig::default().with_policy("P(15):S".parse().unwrap());
+        c.hierarchy.l2.ways = 0;
+        assert!(matches!(c.validate(), Err(ConfigError::Geometry(_))));
     }
 }

@@ -36,10 +36,12 @@
 //! ```
 
 pub mod config;
+pub mod fault;
 pub mod machine;
 pub mod report;
 pub mod runner;
 
-pub use config::{CoreConfig, SimConfig};
+pub use config::{ConfigError, CoreConfig, SimConfig};
+pub use fault::{FaultConfig, SimAbort};
 pub use report::SimReport;
-pub use runner::{run_sim, run_sim_observed, ObsConfig, SimRun};
+pub use runner::{run_sim, run_sim_checked, run_sim_observed, ObsConfig, SimRun};

@@ -45,6 +45,7 @@ use emissary_workloads::program::TermClass;
 use emissary_workloads::walker::{DynBlock, DynInstr, DynOp, Walker};
 
 use crate::config::SimConfig;
+use crate::fault::{FaultConfig, SimAbort};
 use crate::report::ReuseAttribution;
 
 /// Completion-time ring size; must exceed ROB size + max dep distance.
@@ -239,6 +240,66 @@ impl<'p> Machine<'p> {
             self.step();
         }
         self.now - start_cycle
+    }
+
+    /// [`Machine::run_instrs`] under the fault detector: aborts with
+    /// [`SimAbort::Stalled`] when no instruction commits for
+    /// `fault.stall_cycles` consecutive cycles, and with
+    /// [`SimAbort::Timeout`] when the wall-clock deadline passes (checked
+    /// every 4 096 cycles so `Instant::now` stays off the hot path).
+    ///
+    /// Both checks only read simulator state; a run that does not abort is
+    /// cycle-for-cycle identical to [`Machine::run_instrs`].
+    pub fn run_instrs_checked(&mut self, n: u64, fault: &FaultConfig) -> Result<u64, SimAbort> {
+        let target = self.total_committed + n;
+        let start_cycle = self.now;
+        let mut last_commit_cycle = self.now;
+        let mut last_committed = self.total_committed;
+        while self.total_committed < target {
+            self.step();
+            if self.total_committed != last_committed {
+                last_committed = self.total_committed;
+                last_commit_cycle = self.now;
+            } else if let Some(limit) = fault.stall_cycles {
+                if self.now - last_commit_cycle >= limit {
+                    return Err(SimAbort::Stalled {
+                        cycle: self.now,
+                        stall_cycles: limit,
+                        diagnostics: self.debug_state(),
+                    });
+                }
+            }
+            if self.now & 0xFFF == 0 {
+                if let Some(deadline) = fault.deadline {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(SimAbort::Timeout {
+                            cycle: self.now,
+                            diagnostics: self.debug_state(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(self.now - start_cycle)
+    }
+
+    /// Runs the hierarchy invariant auditor (see `emissary_cache::audit`),
+    /// emitting one [`TraceEvent::AuditViolation`] per finding when tracing
+    /// is enabled, and returns the rendered violations (empty = clean).
+    /// Read-only with respect to simulated state.
+    pub fn run_audit(&mut self) -> Vec<String> {
+        let violations = self.hierarchy.audit();
+        for v in &violations {
+            let (invariant, level, set, detail) = (v.invariant, v.level, v.set as u32, v.detail);
+            self.tracer.emit_with(|cycle| TraceEvent::AuditViolation {
+                cycle,
+                invariant,
+                level,
+                set,
+                detail,
+            });
+        }
+        violations.iter().map(|v| v.to_string()).collect()
     }
 
     /// Zeroes window counters (warmup boundary). Microarchitectural state
@@ -706,7 +767,7 @@ impl<'p> Machine<'p> {
         format!(
             "now={} rob={} iq={} dq={} dq_head_ready={:?} ftq={} ftq_instrs={} staged={} \
              wp_active={} wp_pc={:#x} resteer={:?} btb_stall_until={} lq={} sq={} \
-             rob_head={:?}",
+             rob_head={:?} outstanding_misses={}",
             self.now,
             self.rob.len(),
             self.iq.len(),
@@ -722,6 +783,7 @@ impl<'p> Machine<'p> {
             self.lq_count,
             self.sq_count,
             self.rob.front().map(|e| (e.seq, e.issued, e.completed_at)),
+            self.hierarchy.outstanding_misses(),
         )
     }
 
@@ -872,6 +934,83 @@ mod tests {
         assert_eq!(m.total_committed(), committed_before);
         m.run_instrs(1_000);
         assert!(m.stats.committed >= 1_000);
+    }
+
+    #[test]
+    fn checked_run_is_identical_to_unchecked() {
+        // An armed watchdog that never fires must not perturb the run.
+        let program = build_program(&ProgramShape::tiny());
+        let walker = Walker::new(&program, 1);
+        let mut plain = Machine::new(walker, &quick_cfg());
+        let plain_cycles = plain.run_instrs(20_000);
+        let walker = Walker::new(&program, 1);
+        let mut checked = Machine::new(walker, &quick_cfg());
+        let checked_cycles = checked
+            .run_instrs_checked(20_000, &FaultConfig::watchdog())
+            .expect("healthy run must not abort");
+        assert_eq!(plain_cycles, checked_cycles);
+        assert_eq!(
+            plain.stats.starvation_cycles,
+            checked.stats.starvation_cycles
+        );
+    }
+
+    #[test]
+    fn stall_watchdog_fires_on_an_impossible_threshold() {
+        // No machine commits on its very first cycles (fetch latency), so a
+        // 1-cycle threshold must trip and carry a diagnostic dump.
+        let program = build_program(&ProgramShape::tiny());
+        let walker = Walker::new(&program, 1);
+        let mut m = Machine::new(walker, &quick_cfg());
+        let fault = FaultConfig::none().with_stall_cycles(1);
+        let err = m.run_instrs_checked(10_000, &fault).unwrap_err();
+        match err {
+            SimAbort::Stalled {
+                stall_cycles,
+                diagnostics,
+                ..
+            } => {
+                assert_eq!(stall_cycles, 1);
+                assert!(diagnostics.contains("rob="), "dump missing: {diagnostics}");
+                assert!(diagnostics.contains("outstanding_misses="));
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_timeout() {
+        let program = build_program(&ProgramShape::tiny());
+        let walker = Walker::new(&program, 1);
+        let mut m = Machine::new(walker, &quick_cfg());
+        // Deadline already in the past; the periodic check fires at cycle
+        // 4096, long before 100k instructions can commit on an 8-wide core.
+        let fault = FaultConfig::none().with_timeout_ms(0);
+        let err = m.run_instrs_checked(100_000, &fault).unwrap_err();
+        assert!(matches!(err, SimAbort::Timeout { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn audit_is_clean_after_a_run_and_catches_corruption() {
+        let program = build_program(&ProgramShape::tiny());
+        let walker = Walker::new(&program, 1);
+        let mut m = Machine::new(walker, &quick_cfg());
+        m.run_instrs(20_000);
+        assert_eq!(m.run_audit(), Vec::<String>::new());
+        // Break inclusion: drop an L1I-resident line from the L2.
+        let resident = m
+            .hierarchy
+            .l1i
+            .iter_valid()
+            .next()
+            .expect("l1i holds lines after 20k instructions")
+            .tag;
+        m.hierarchy.l2.invalidate(resident);
+        let violations = m.run_audit();
+        assert!(
+            violations.iter().any(|v| v.contains("inclusion")),
+            "expected an inclusion violation, got {violations:?}"
+        );
     }
 
     #[test]

@@ -156,12 +156,117 @@ impl SimReport {
                     self.reuse.cold,
                 ],
             )
+            .field_u64_array(
+                "reuse_attribution",
+                &[
+                    self.reuse_attribution.starve_short,
+                    self.reuse_attribution.starve_mid,
+                    self.reuse_attribution.starve_long,
+                    self.reuse_attribution.l2_miss_long,
+                    self.reuse_attribution.l2_miss_other,
+                    self.reuse_attribution.long_accesses,
+                    self.reuse_attribution.other_accesses,
+                ],
+            )
             .field_u64_array("priority_histogram", &self.priority_histogram)
             .field_u64("ideal_l2_saves", self.ideal_l2_saves)
             .field_u64("l2_priority_hits", self.l2_priority_hits)
             .field_u64("priority_marks", self.priority_marks)
+            .field_u64_array(
+                "activity",
+                &[
+                    self.activity.cycles,
+                    self.activity.committed_instrs,
+                    self.activity.decoded_instrs,
+                    self.activity.issued_instrs,
+                    self.activity.l1i_accesses,
+                    self.activity.l1d_accesses,
+                    self.activity.l2_accesses,
+                    self.activity.l3_accesses,
+                    self.activity.dram_accesses,
+                    self.activity.frontend_lookups,
+                ],
+            )
             .field_f64("energy_pj", self.energy_pj);
         obj.finish()
+    }
+
+    /// Reconstructs a report from [`Self::to_json`] output. Numbers are
+    /// restored via their raw JSON text, so a parse–serialize round trip is
+    /// byte-identical (the checkpoint/resume machinery depends on this).
+    /// Returns `None` when a field is missing or has the wrong shape;
+    /// derived fields (like `ipc`) are ignored.
+    pub fn from_json(v: &emissary_obs::JsonValue) -> Option<SimReport> {
+        let u = |key: &str| v.get(key)?.as_u64();
+        let f = |key: &str| v.get(key)?.as_f64();
+        let arr = |key: &str, n: usize| -> Option<Vec<u64>> {
+            let items = v.get(key)?.as_array()?;
+            if items.len() != n {
+                return None;
+            }
+            items.iter().map(|i| i.as_u64()).collect()
+        };
+        let reuse = arr("reuse_counts", 4)?;
+        let attr = arr("reuse_attribution", 7)?;
+        let hist = arr("priority_histogram", 9)?;
+        let src = arr("starvation_by_source", 4)?;
+        let act = arr("activity", 10)?;
+        Some(SimReport {
+            benchmark: v.get("benchmark")?.as_str()?.to_string(),
+            policy: v.get("policy")?.as_str()?.to_string(),
+            cycles: u("cycles")?,
+            committed: u("committed")?,
+            decoded: u("decoded")?,
+            issued: u("issued")?,
+            l1i_mpki: f("l1i_mpki")?,
+            l1d_mpki: f("l1d_mpki")?,
+            l2i_mpki: f("l2i_mpki")?,
+            l2d_mpki: f("l2d_mpki")?,
+            l3_mpki: f("l3_mpki")?,
+            branch_mpki: f("branch_mpki")?,
+            starvation_cycles: u("starvation_cycles")?,
+            starvation_empty_iq_cycles: u("starvation_empty_iq_cycles")?,
+            starvation_by_source: [src[0], src[1], src[2], src[3]],
+            fe_stall_cycles: u("fe_stall_cycles")?,
+            be_stall_cycles: u("be_stall_cycles")?,
+            footprint_bytes: u("footprint_bytes")?,
+            reuse: ReuseCounts {
+                short: reuse[0],
+                mid: reuse[1],
+                long: reuse[2],
+                cold: reuse[3],
+            },
+            reuse_attribution: ReuseAttribution {
+                starve_short: attr[0],
+                starve_mid: attr[1],
+                starve_long: attr[2],
+                l2_miss_long: attr[3],
+                l2_miss_other: attr[4],
+                long_accesses: attr[5],
+                other_accesses: attr[6],
+            },
+            priority_histogram: {
+                let mut h = [0u64; 9];
+                h.copy_from_slice(&hist);
+                h
+            },
+            ideal_l2_saves: u("ideal_l2_saves")?,
+            l2_priority_hits: u("l2_priority_hits")?,
+            priority_marks: u("priority_marks")?,
+            activity: ActivityCounts {
+                cycles: act[0],
+                committed_instrs: act[1],
+                decoded_instrs: act[2],
+                issued_instrs: act[3],
+                l1i_accesses: act[4],
+                l1d_accesses: act[5],
+                l2_accesses: act[6],
+                l3_accesses: act[7],
+                dram_accesses: act[8],
+                frontend_lookups: act[9],
+            },
+            energy_pj: f("energy_pj")?,
+        })
     }
 }
 
@@ -213,6 +318,37 @@ mod tests {
     fn zero_cycles_guarded() {
         let r = report(0);
         assert_eq!(r.ipc(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact_and_byte_identical() {
+        let mut r = report(12_345);
+        r.l1i_mpki = 1.0 / 3.0; // awkward decimal expansion
+        r.l2i_mpki = 0.1 + 0.2; // classic non-representable sum
+        r.energy_pj = 987654.321;
+        r.starvation_by_source = [1, 2, 3, 4];
+        r.reuse_attribution.starve_long = 77;
+        r.activity.dram_accesses = 42;
+        r.priority_histogram[8] = 9;
+        let json = r.to_json();
+        let parsed = emissary_obs::JsonValue::parse(&json).expect("valid JSON");
+        let restored = SimReport::from_json(&parsed).expect("complete report");
+        assert_eq!(restored, r);
+        assert_eq!(
+            restored.to_json(),
+            json,
+            "re-serialization must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_truncated_input() {
+        let r = report(10);
+        let json = r.to_json();
+        // Drop the last field: parsing must fail cleanly, not default it.
+        let truncated = json.replace(",\"energy_pj\":0", "");
+        let parsed = emissary_obs::JsonValue::parse(&truncated).expect("still valid JSON");
+        assert!(SimReport::from_json(&parsed).is_none());
     }
 
     #[test]

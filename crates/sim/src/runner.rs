@@ -7,6 +7,7 @@ use emissary_workloads::walker::Walker;
 use emissary_workloads::Profile;
 
 use crate::config::SimConfig;
+use crate::fault::{FaultConfig, SimAbort};
 use crate::machine::Machine;
 use crate::report::SimReport;
 
@@ -59,38 +60,86 @@ pub fn run_sim(profile: &Profile, cfg: &SimConfig) -> SimReport {
 /// execution is bit-identical to an unsampled run (a regression test
 /// holds this).
 pub fn run_sim_observed(profile: &Profile, cfg: &SimConfig, obs: &ObsConfig) -> SimRun {
+    run_sim_checked(profile, cfg, obs, &FaultConfig::none())
+        .expect("FaultConfig::none() disables every abort path")
+}
+
+/// [`run_sim_observed`] under the fault detector: the run aborts with a
+/// structured [`SimAbort`] when the forward-progress watchdog or the
+/// wall-clock deadline fires, and — when `fault.audit` is set — runs the
+/// hierarchy invariant auditor at every epoch boundary (warmup end, each
+/// sample boundary, measurement end), tracing violations and aborting on
+/// the first dirty epoch.
+///
+/// The detector is read-only: a run that returns `Ok` is bit-identical to
+/// [`run_sim_observed`]. Degenerate configurations should be rejected up
+/// front with [`SimConfig::validate`]; this function assumes a valid one.
+/// The tracer is flushed on both success and abort, so diagnostic events
+/// survive a failed run.
+pub fn run_sim_checked(
+    profile: &Profile,
+    cfg: &SimConfig,
+    obs: &ObsConfig,
+    fault: &FaultConfig,
+) -> Result<SimRun, SimAbort> {
     let program = profile.build();
     let walker = Walker::new(&program, profile.seed);
     let mut machine = Machine::new(walker, cfg);
     if obs.tracer.enabled() {
         machine.set_tracer(obs.tracer.clone());
     }
-    if cfg.warmup_instrs > 0 {
-        machine.run_instrs(cfg.warmup_instrs);
-    }
-    machine.reset_window();
-    let interval = obs.sample_interval.unwrap_or(0);
-    let samples = if interval > 0 {
-        let base = machine.total_committed();
-        let mut series = SampleSeries::new();
-        let mut boundary = base;
-        for chunk in interval_chunks(cfg.measure_instrs, interval) {
-            // Absolute targets: commit-width overshoot at one boundary
-            // must not push later boundaries (and the window end) past
-            // where an unchunked run would stop.
-            boundary += chunk;
-            machine.run_instrs(boundary.saturating_sub(machine.total_committed()));
-            series.record(machine.sample_counters(), machine.priority_histogram());
+    let result = (|| {
+        if cfg.warmup_instrs > 0 {
+            machine.run_instrs_checked(cfg.warmup_instrs, fault)?;
         }
-        series.into_samples()
-    } else {
-        machine.run_instrs(cfg.measure_instrs);
-        Vec::new()
-    };
+        audit_epoch(&mut machine, fault)?;
+        machine.reset_window();
+        let interval = obs.sample_interval.unwrap_or(0);
+        if interval > 0 {
+            let base = machine.total_committed();
+            let mut series = SampleSeries::new();
+            let mut boundary = base;
+            for chunk in interval_chunks(cfg.measure_instrs, interval) {
+                // Absolute targets: commit-width overshoot at one boundary
+                // must not push later boundaries (and the window end) past
+                // where an unchunked run would stop.
+                boundary += chunk;
+                machine.run_instrs_checked(
+                    boundary.saturating_sub(machine.total_committed()),
+                    fault,
+                )?;
+                series.record(machine.sample_counters(), machine.priority_histogram());
+                audit_epoch(&mut machine, fault)?;
+            }
+            Ok(series.into_samples())
+        } else {
+            machine.run_instrs_checked(cfg.measure_instrs, fault)?;
+            audit_epoch(&mut machine, fault)?;
+            Ok(Vec::new())
+        }
+    })();
     obs.tracer.flush();
-    SimRun {
+    let samples = result?;
+    Ok(SimRun {
         report: assemble_report(profile, cfg, &machine),
         samples,
+    })
+}
+
+/// Runs the invariant auditor at an epoch boundary when enabled; a dirty
+/// hierarchy aborts the run.
+fn audit_epoch(machine: &mut Machine<'_>, fault: &FaultConfig) -> Result<(), SimAbort> {
+    if !fault.audit {
+        return Ok(());
+    }
+    let violations = machine.run_audit();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(SimAbort::AuditFailed {
+            cycle: machine.now(),
+            violations,
+        })
     }
 }
 
@@ -223,6 +272,25 @@ mod tests {
         // The EMISSARY policy under a thrashing-free quick run still
         // records fills and evictions; the sink must have seen events.
         assert!(buffer.lock().unwrap().total_recorded() > 0);
+    }
+
+    #[test]
+    fn checked_run_with_audit_matches_plain_run() {
+        // The auditor at every epoch boundary must find a clean hierarchy
+        // and must not perturb the simulation (read-only guarantee).
+        let p = Profile::by_name("xapian").unwrap();
+        let cfg = quick(PolicySpec::PREFERRED);
+        let plain = run_sim(&p, &cfg);
+        let fault = FaultConfig::watchdog().with_audit();
+        let checked = run_sim_checked(
+            &p,
+            &cfg,
+            &ObsConfig::new(Tracer::disabled(), Some(7_000)),
+            &fault,
+        )
+        .expect("audit must be clean on a healthy run");
+        assert_eq!(plain, checked.report, "fault checking perturbed the run");
+        assert_eq!(checked.samples.len(), 6);
     }
 
     #[test]
