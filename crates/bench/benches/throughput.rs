@@ -1,0 +1,130 @@
+//! Criterion benchmarks of the simulator's hot path, from the innermost
+//! structures out to full runs:
+//!
+//! * `machine/step_loop` — the cycle loop itself (the figure-production
+//!   bottleneck);
+//! * `hierarchy/instr_access_fill` — instruction-side access + fill with
+//!   in-flight tracking;
+//! * `frontend/tage_predict_update` — TAGE predict + update round trip;
+//! * `end_to_end/*` — 1M-committed-instruction runs for the baseline LRU
+//!   and preferred EMISSARY-P configurations.
+//!
+//! These complement `benches/components.rs` (per-structure churn) by
+//! measuring the composed paths the optimisation work targets. For the
+//! cross-PR trajectory numbers, run the `bench_throughput` binary, which
+//! writes `BENCH_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use emissary_cache::hierarchy::Hierarchy;
+use emissary_cache::policy::PolicyKind;
+use emissary_cache::rng::XorShift64;
+use emissary_frontend::Tage;
+use emissary_sim::machine::Machine;
+use emissary_sim::{run_sim, SimConfig};
+use emissary_workloads::walker::Walker;
+use emissary_workloads::Profile;
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    g.bench_function("step_loop", |b| {
+        let profile = Profile::by_name("xapian").expect("profile");
+        let program = profile.build();
+        let cfg = SimConfig::default().with_policy("M:1".parse().expect("policy notation"));
+        let walker = Walker::new(&program, cfg.seed);
+        let mut m = Machine::new(walker, &cfg);
+        b.iter(|| {
+            for _ in 0..1000 {
+                m.step();
+            }
+            m.total_committed()
+        });
+    });
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    g.bench_function("instr_access_fill", |b| {
+        let cfg = emissary_cache::config::HierarchyConfig::alderlake_like();
+        let policy = PolicyKind::TreePlru.build(cfg.l2.sets(), cfg.l2.ways, 1);
+        let mut h = Hierarchy::with_l2_policy(cfg, policy);
+        let mut rng = XorShift64::new(5);
+        let mut now = 0u64;
+        b.iter(|| {
+            for _ in 0..1000 {
+                now += 1;
+                // A working set larger than the L2 keeps fills and
+                // in-flight insert/remove churn on every iteration.
+                let m = h.access_instr(rng.next_below(64 * 1024), now, false);
+                if m.needs_resolution {
+                    h.resolve_instr_fill(rng.next_below(64 * 1024), false);
+                }
+            }
+            h.stats().dram_reads
+        });
+    });
+    g.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    g.bench_function("tage_predict_update", |b| {
+        let mut t = Tage::new();
+        let mut rng = XorShift64::new(17);
+        b.iter(|| {
+            let mut correct = 0u32;
+            for _ in 0..1000 {
+                let pc = 0x1000 + (rng.next_below(512) << 3);
+                // Locally-biased pattern: mostly taken with bursts.
+                let taken = !rng.one_in(5);
+                if t.update(pc, taken) {
+                    correct += 1;
+                }
+            }
+            correct
+        });
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    // One full run per sample; keep the sample count minimal so the
+    // whole group stays in CI-smoke territory.
+    g.warm_up_time(Duration::from_millis(1))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(2);
+    for (name, policy) in [("lru_1m", "M:1"), ("emissary_p8_1m", "P(8):S&E&R(1/32)")] {
+        g.bench_function(name, |b| {
+            let profile = Profile::by_name("xapian").expect("profile");
+            let cfg = SimConfig {
+                warmup_instrs: 0,
+                measure_instrs: 1_000_000,
+                ..SimConfig::default()
+            }
+            .with_policy(policy.parse().expect("policy notation"));
+            b.iter(|| run_sim(&profile, &cfg).cycles);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_machine,
+    bench_hierarchy,
+    bench_frontend,
+    bench_end_to_end
+);
+criterion_main!(benches);

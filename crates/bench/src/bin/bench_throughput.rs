@@ -1,0 +1,105 @@
+//! End-to-end simulator throughput tracker: runs fixed 1M-instruction
+//! configs (baseline LRU and the preferred EMISSARY-P policy) on one
+//! thread, times them on the host clock, and records the results in
+//! `BENCH_throughput.json` so the perf trajectory is visible across PRs.
+//!
+//! Usage: `cargo run --release -p emissary-bench --bin bench_throughput
+//! -- [label]`. The label (default `after`) names this measurement;
+//! entries under other labels already in the file are preserved, so a
+//! `before` run at the old revision plus an `after` run at the new one
+//! yields per-config speedups in the same file.
+
+use std::time::Instant;
+
+use emissary_bench::results::write_throughput_file;
+use emissary_bench::ThroughputEntry;
+use emissary_obs::JsonValue;
+use emissary_sim::{run_sim, SimConfig};
+use emissary_workloads::Profile;
+
+/// (benchmark, L2 policy notation) pairs measured by the tracker. LRU
+/// and EMISSARY-P are the two configs named by the acceptance criteria;
+/// both run the same workload so the comparison isolates the policy path.
+const CONFIGS: &[(&str, &str)] = &[("xapian", "M:1"), ("xapian", "P(8):S&E&R(1/32)")];
+
+const WARMUP_INSTRS: u64 = 100_000;
+const MEASURE_INSTRS: u64 = 1_000_000;
+
+fn measure(benchmark: &str, policy: &str, label: &str) -> ThroughputEntry {
+    let profile = Profile::by_name(benchmark).expect("benchmark profile");
+    let cfg = SimConfig {
+        warmup_instrs: WARMUP_INSTRS,
+        measure_instrs: MEASURE_INSTRS,
+        ..SimConfig::default()
+    }
+    .with_policy(policy.parse().expect("policy notation"));
+    let start = Instant::now();
+    let report = run_sim(&profile, &cfg);
+    let host_seconds = start.elapsed().as_secs_f64();
+    let entry = ThroughputEntry {
+        label: label.to_string(),
+        benchmark: benchmark.to_string(),
+        policy: policy.to_string(),
+        cycles: report.cycles,
+        committed: report.committed,
+        host_seconds,
+    };
+    eprintln!(
+        "{label}: {benchmark}/{policy}: {:.2}s host, {:.2} Mcycles/s, {:.2} MIPS",
+        host_seconds,
+        entry.cycles_per_sec() / 1e6,
+        entry.mips()
+    );
+    entry
+}
+
+/// Loads entries recorded under *other* labels from an existing
+/// `BENCH_throughput.json`, so re-running under one label never discards
+/// the comparison point.
+fn load_other_labels(path: &str, label: &str) -> Vec<ThroughputEntry> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(v) = JsonValue::parse(&text) else {
+        eprintln!("warning: {path} is unparseable; starting fresh");
+        return Vec::new();
+    };
+    let Some(entries) = v.get("entries").and_then(|e| e.as_array()) else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter_map(|e| {
+            let entry = ThroughputEntry {
+                label: e.get("label")?.as_str()?.to_string(),
+                benchmark: e.get("benchmark")?.as_str()?.to_string(),
+                policy: e.get("policy")?.as_str()?.to_string(),
+                cycles: e.get("cycles")?.as_u64()?,
+                committed: e.get("committed")?.as_u64()?,
+                host_seconds: e.get("host_seconds")?.as_f64()?,
+            };
+            (entry.label != label).then_some(entry)
+        })
+        .collect()
+}
+
+fn main() {
+    let label = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "after".to_string());
+    let path = "BENCH_throughput.json";
+    let mut entries = load_other_labels(path, &label);
+    for (benchmark, policy) in CONFIGS {
+        // One warm-up run per config so the measured pass sees hot caches
+        // and a quiesced allocator, then the timed pass.
+        let _ = measure(benchmark, policy, &label);
+        entries.push(measure(benchmark, policy, &label));
+    }
+    match write_throughput_file(path, WARMUP_INSTRS, MEASURE_INSTRS, &entries) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -135,6 +135,7 @@ fn render_record(fp: &str, outcome: &JobOutcome) -> String {
             obj.field_raw("report", &run.report.to_json());
             let samples: Vec<String> = run.samples.iter().map(|s| s.to_json()).collect();
             obj.field_raw("samples", &format!("[{}]", samples.join(",")));
+            obj.field_raw("host_seconds", &format!("{:.6}", run.host_seconds));
         }
         failed => {
             obj.field_str("error", &failed.describe());
@@ -178,7 +179,18 @@ fn load_completed(path: &Path) -> HashMap<String, SimRun> {
         let Some(samples) = samples else {
             continue;
         };
-        map.insert(fp.to_string(), SimRun { report, samples });
+        let host_seconds = v
+            .get("host_seconds")
+            .and_then(|h| h.as_f64())
+            .unwrap_or(0.0);
+        map.insert(
+            fp.to_string(),
+            SimRun {
+                report,
+                samples,
+                host_seconds,
+            },
+        );
     }
     map
 }

@@ -41,6 +41,7 @@ pub mod scale;
 pub use pool::{
     run_parallel, run_parallel_observed, run_parallel_outcomes, JobOutcome, PoolOptions,
 };
+pub use results::ThroughputEntry;
 pub use scale::{measure_instrs, sample_interval, threads, trace_out, warmup_instrs};
 
 use emissary_core::spec::PolicySpec;

@@ -67,6 +67,85 @@ pub struct JobFailure {
     pub detail: String,
 }
 
+/// One end-to-end throughput measurement — a full simulator run timed on
+/// the host clock — as recorded in `BENCH_throughput.json` by the
+/// `bench_throughput` binary. Entries are labelled (`before`/`after`) so
+/// one file carries both sides of a perf comparison.
+#[derive(Debug, Clone)]
+pub struct ThroughputEntry {
+    /// Measurement label (`before`/`after`).
+    pub label: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// L2 policy notation.
+    pub policy: String,
+    /// Simulated cycles in the measured run.
+    pub cycles: u64,
+    /// Committed instructions in the measured run.
+    pub committed: u64,
+    /// Host wall-clock seconds for the run (warmup + measurement).
+    pub host_seconds: f64,
+}
+
+impl ThroughputEntry {
+    /// Simulated cycles per host second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.host_seconds
+    }
+
+    /// Committed instructions per host second, in millions (host MIPS).
+    pub fn mips(&self) -> f64 {
+        self.committed as f64 / self.host_seconds / 1e6
+    }
+}
+
+/// Writes `BENCH_throughput.json`: the run lengths, every entry with its
+/// derived rates, and a `speedups` array pairing each `after` entry with
+/// the `before` entry for the same (benchmark, policy).
+pub fn write_throughput_file(
+    path: &str,
+    warmup_instrs: u64,
+    measure_instrs: u64,
+    entries: &[ThroughputEntry],
+) -> io::Result<()> {
+    let entry_jsons: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            let mut obj = JsonObject::new();
+            obj.field_str("label", &e.label)
+                .field_str("benchmark", &e.benchmark)
+                .field_str("policy", &e.policy)
+                .field_u64("cycles", e.cycles)
+                .field_u64("committed", e.committed)
+                .field_f64("host_seconds", e.host_seconds)
+                .field_f64("cycles_per_sec", e.cycles_per_sec())
+                .field_f64("mips", e.mips());
+            obj.finish()
+        })
+        .collect();
+    let mut speedups = Vec::new();
+    for after in entries.iter().filter(|e| e.label == "after") {
+        let before = entries.iter().find(|e| {
+            e.label == "before" && e.benchmark == after.benchmark && e.policy == after.policy
+        });
+        if let Some(before) = before {
+            let mut obj = JsonObject::new();
+            obj.field_str("benchmark", &after.benchmark)
+                .field_str("policy", &after.policy)
+                .field_f64("before_mips", before.mips())
+                .field_f64("after_mips", after.mips())
+                .field_f64("speedup", after.cycles_per_sec() / before.cycles_per_sec());
+            speedups.push(obj.finish());
+        }
+    }
+    let mut root = JsonObject::new();
+    root.field_u64("warmup_instrs", warmup_instrs)
+        .field_u64("measure_instrs", measure_instrs)
+        .field_raw("entries", &format!("[{}]", entry_jsons.join(",")))
+        .field_raw("speedups", &format!("[{}]", speedups.join(",")));
+    fs::write(path, root.finish() + "\n")
+}
+
 /// Appends one run to the process-global run log.
 pub fn log_run(run: &SimRun) {
     RUN_LOG.lock().expect("run log poisoned").push(run.clone());
@@ -132,10 +211,38 @@ pub fn take_failures() -> Vec<JobFailure> {
     std::mem::take(&mut *FAILURES.lock().expect("failure log poisoned"))
 }
 
-/// Renders `exp` to stdout and writes `results/<name>.jsonl` (reporting
-/// the outcome on stderr). The standard tail of every experiment binary.
+/// Renders the host-side throughput footer for a set of runs: aggregate
+/// simulated cycles/sec and host MIPS over the whole campaign, so the
+/// cost of producing a table is visible without profiling. `None` when
+/// no run carried timing (e.g. everything replayed from a pre-timing
+/// checkpoint).
+pub fn throughput_footer(runs: &[SimRun]) -> Option<String> {
+    let timed: Vec<&SimRun> = runs.iter().filter(|r| r.host_seconds > 0.0).collect();
+    if timed.is_empty() {
+        return None;
+    }
+    let host: f64 = timed.iter().map(|r| r.host_seconds).sum();
+    let cycles: u64 = timed.iter().map(|r| r.report.cycles).sum();
+    let committed: u64 = timed.iter().map(|r| r.report.committed).sum();
+    Some(format!(
+        "host throughput: {} run(s), {:.1}s host time, {:.2} Mcycles/s, {:.2} MIPS",
+        timed.len(),
+        host,
+        cycles as f64 / host / 1e6,
+        committed as f64 / host / 1e6,
+    ))
+}
+
+/// Renders `exp` to stdout and writes `results/<name>.jsonl`
+/// (reporting the outcome on stderr). The standard tail of every
+/// experiment binary. The host-throughput footer goes to stderr with
+/// the other diagnostics: stdout carries only deterministic simulation
+/// output, so byte-comparing it across runs stays a valid check.
 pub fn emit(name: &str, exp: &Experiment) {
     print!("{}", exp.render());
+    if let Some(footer) = throughput_footer(&RUN_LOG.lock().expect("run log poisoned")) {
+        eprintln!("{footer}");
+    }
     match write_experiment(name, exp) {
         Ok(path) => eprintln!("results: wrote {}", path.display()),
         Err(e) => eprintln!("results: failed to write {name}.jsonl: {e}"),
@@ -178,7 +285,10 @@ pub fn write_records(
     for run in runs {
         let mut obj = JsonObject::new();
         obj.field_str("record", "report")
-            .field_raw("report", &run.report.to_json());
+            .field_raw("report", &run.report.to_json())
+            .field_f64("host_seconds", run.host_seconds)
+            .field_f64("cycles_per_sec", run.cycles_per_sec())
+            .field_f64("mips", run.mips());
         writeln!(out, "{}", obj.finish())?;
         for sample in &run.samples {
             let mut obj = JsonObject::new();

@@ -1,0 +1,109 @@
+//! Golden-report regression test: fixed (workload, policy, seed) configs
+//! with committed digests of their `SimReport` JSON.
+//!
+//! The digests below were captured from the simulator *before* the
+//! hot-path optimisation work (allocation-free cycle loop, open-addressing
+//! miss tables, devirtualized policy dispatch) landed, so this test proves
+//! those rewrites are behaviour-preserving: any change to the cycle-level
+//! execution — timing, replacement decisions, stats plumbing — shifts at
+//! least one digest. Run with `EMISSARY_BLESS=1` and `--nocapture` to
+//! print the digests the current build produces (for intentional
+//! behaviour changes, paste the new values here and explain why in the
+//! commit message).
+
+use emissary_bench::checkpoint::fnv1a64;
+use emissary_sim::{run_sim, SimConfig};
+use emissary_workloads::Profile;
+
+/// One golden configuration: benchmark, L2 policy notation, optional §6
+/// priority-reset interval, and the expected FNV-1a 64 digest of the
+/// run's `SimReport::to_json()` bytes.
+struct Golden {
+    benchmark: &'static str,
+    policy: &'static str,
+    reset_interval: Option<u64>,
+    digest: u64,
+}
+
+/// Fixed-seed configs spanning every statically-dispatched policy family
+/// plus the dynamically-dispatched EMISSARY and GHRP paths.
+const GOLDEN: &[Golden] = &[
+    Golden {
+        benchmark: "xapian",
+        policy: "M:1",
+        reset_interval: None,
+        digest: 0xc82b123f71afd1e0,
+    },
+    Golden {
+        benchmark: "xapian",
+        policy: "P(8):S&E&R(1/32)",
+        reset_interval: None,
+        digest: 0xb63f6e9256cfd5eb,
+    },
+    Golden {
+        benchmark: "tomcat",
+        policy: "DRRIP",
+        reset_interval: None,
+        digest: 0xa125531feec6602b,
+    },
+    Golden {
+        benchmark: "wikipedia",
+        policy: "PDP",
+        reset_interval: None,
+        digest: 0x67bd819151494287,
+    },
+    Golden {
+        benchmark: "verilator",
+        policy: "P(14):S&E",
+        reset_interval: Some(50_000),
+        digest: 0x88c865b341d3d80e,
+    },
+    Golden {
+        benchmark: "specjbb",
+        policy: "P(8):S&E+GHRP",
+        reset_interval: None,
+        digest: 0x61236f4324d45248,
+    },
+];
+
+fn golden_config(g: &Golden) -> SimConfig {
+    let mut cfg = SimConfig {
+        warmup_instrs: 20_000,
+        measure_instrs: 100_000,
+        ..SimConfig::default()
+    }
+    .with_policy(g.policy.parse().expect("golden policy notation"));
+    cfg.priority_reset_interval = g.reset_interval;
+    cfg
+}
+
+#[test]
+fn reports_are_bit_identical_to_seed_behaviour() {
+    let bless = std::env::var("EMISSARY_BLESS")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let mut failures = Vec::new();
+    for g in GOLDEN {
+        let profile = Profile::by_name(g.benchmark).expect("golden benchmark");
+        let cfg = golden_config(g);
+        let json = run_sim(&profile, &cfg).to_json();
+        let digest = fnv1a64(json.as_bytes());
+        if bless {
+            println!("{}/{}: digest: 0x{digest:016x},", g.benchmark, g.policy);
+        }
+        if digest != g.digest {
+            failures.push(format!(
+                "{}/{}: expected 0x{:016x}, got 0x{digest:016x}",
+                g.benchmark, g.policy, g.digest
+            ));
+        }
+    }
+    if bless {
+        return; // bless mode only prints; it never fails the build
+    }
+    assert!(
+        failures.is_empty(),
+        "SimReport diverged from golden seed behaviour:\n{}",
+        failures.join("\n")
+    );
+}

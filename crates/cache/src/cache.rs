@@ -5,7 +5,7 @@ use crate::config::CacheConfig;
 #[cfg(test)]
 use crate::line::LineKind;
 use crate::line::LineState;
-use crate::policy::{AccessInfo, ReplacementPolicy};
+use crate::policy::{AccessInfo, PolicyImpl};
 use crate::stats::CacheStats;
 
 /// Result of inserting a line.
@@ -28,7 +28,7 @@ impl FillOutcome {
 /// A set-associative cache.
 ///
 /// The cache owns line metadata and statistics; recency/prediction state
-/// lives in the injected [`ReplacementPolicy`]. All addresses passed in are
+/// lives in the injected [`PolicyImpl`]. All addresses passed in are
 /// *line* addresses (see [`crate::addr`]).
 #[derive(Debug)]
 pub struct Cache {
@@ -36,13 +36,13 @@ pub struct Cache {
     sets: usize,
     ways: usize,
     lines: Vec<LineState>,
-    policy: Box<dyn ReplacementPolicy>,
+    policy: PolicyImpl,
     stats: CacheStats,
 }
 
 impl Cache {
     /// Creates a cache from a validated config and a policy sized for it.
-    pub fn new(cfg: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+    pub fn new(cfg: CacheConfig, policy: impl Into<PolicyImpl>) -> Self {
         let sets = cfg.sets();
         let ways = cfg.ways;
         Self {
@@ -50,7 +50,7 @@ impl Cache {
             sets,
             ways,
             lines: vec![LineState::invalid(); sets * ways],
-            policy,
+            policy: policy.into(),
             stats: CacheStats::default(),
         }
     }
@@ -61,12 +61,12 @@ impl Cache {
     }
 
     /// The replacement policy's report name.
-    pub fn policy_name(&self) -> String {
+    pub fn policy_name(&self) -> &'static str {
         self.policy.name()
     }
 
     /// Hands the replacement policy an observability tracer (see
-    /// [`ReplacementPolicy::set_tracer`]).
+    /// [`crate::policy::ReplacementPolicy::set_tracer`]).
     pub fn set_tracer(&mut self, tracer: emissary_obs::Tracer) {
         self.policy.set_tracer(tracer);
     }

@@ -25,14 +25,13 @@
 //! non-compulsory L2 instruction misses at L2-hit latency while leaving all
 //! structural behaviour unchanged.
 
-use std::collections::{HashMap, HashSet};
-
 use emissary_obs::{Level, TraceEvent, Tracer};
 
 use crate::cache::Cache;
 use crate::config::HierarchyConfig;
 use crate::line::{LineKind, LineState};
-use crate::policy::{AccessInfo, PolicyKind, ReplacementPolicy};
+use crate::linemap::{LineMap, LineSet};
+use crate::policy::{AccessInfo, PolicyImpl, PolicyKind};
 
 /// Which level ultimately supplied the requested line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,11 +112,11 @@ pub struct Hierarchy {
     /// Shared exclusive victim L3.
     pub l3: Cache,
     /// line -> (ready cycle, original serving level).
-    inflight_instr: HashMap<u64, (u64, ServedBy)>,
-    inflight_data: HashMap<u64, (u64, ServedBy)>,
+    inflight_instr: LineMap<(u64, ServedBy)>,
+    inflight_data: LineMap<(u64, ServedBy)>,
     /// Every instruction line ever requested (compulsory-miss tracking and
     /// the Figure 4 footprint metric).
-    touched_instr: HashSet<u64>,
+    touched_instr: LineSet,
     stats: HierarchyStats,
     /// Observability handle; disabled by default (one branch per emit site).
     tracer: Tracer,
@@ -130,7 +129,7 @@ impl Hierarchy {
     pub fn new(
         cfg: HierarchyConfig,
         l1_policy: PolicyKind,
-        l2_policy: Box<dyn ReplacementPolicy>,
+        l2_policy: impl Into<PolicyImpl>,
     ) -> Self {
         let l1i = Cache::new(
             cfg.l1i.clone(),
@@ -151,9 +150,9 @@ impl Hierarchy {
             l1d,
             l2,
             l3,
-            inflight_instr: HashMap::new(),
-            inflight_data: HashMap::new(),
-            touched_instr: HashSet::new(),
+            inflight_instr: LineMap::new(),
+            inflight_data: LineMap::new(),
+            touched_instr: LineSet::new(),
             stats: HierarchyStats::default(),
             tracer: Tracer::disabled(),
         }
@@ -174,7 +173,7 @@ impl Hierarchy {
     }
 
     /// Convenience constructor with TPLRU L1s (the paper's default).
-    pub fn with_l2_policy(cfg: HierarchyConfig, l2_policy: Box<dyn ReplacementPolicy>) -> Self {
+    pub fn with_l2_policy(cfg: HierarchyConfig, l2_policy: impl Into<PolicyImpl>) -> Self {
         Self::new(cfg, PolicyKind::TreePlru, l2_policy)
     }
 
@@ -210,7 +209,7 @@ impl Hierarchy {
         self.tracer.set_now(now);
         let first_touch = self.touched_instr.insert(line);
         // In-flight coalescing.
-        if let Some(&(ready, source)) = self.inflight_instr.get(&line) {
+        if let Some(&(ready, source)) = self.inflight_instr.get(line) {
             if now < ready {
                 if !is_prefetch {
                     self.stats.inflight_joins += 1;
@@ -224,7 +223,7 @@ impl Hierarchy {
                     needs_resolution: false,
                 };
             }
-            self.inflight_instr.remove(&line);
+            self.inflight_instr.remove(line);
         }
         let info = if is_prefetch {
             AccessInfo::prefetch(LineKind::Instruction)
@@ -290,7 +289,7 @@ impl Hierarchy {
         is_prefetch: bool,
     ) -> MemAccess {
         self.tracer.set_now(now);
-        if let Some(&(ready, source)) = self.inflight_data.get(&line) {
+        if let Some(&(ready, source)) = self.inflight_data.get(line) {
             if now < ready {
                 if !is_prefetch {
                     self.stats.inflight_joins += 1;
@@ -306,7 +305,7 @@ impl Hierarchy {
                     needs_resolution: false,
                 };
             }
-            self.inflight_data.remove(&line);
+            self.inflight_data.remove(line);
         }
         let mut info = if is_prefetch {
             AccessInfo::prefetch(LineKind::Data)
@@ -430,7 +429,7 @@ impl Hierarchy {
 
     /// L1D next-line prefetch through the full data path.
     fn nlp_into_l1d(&mut self, line: u64, now: u64) {
-        if self.l1d.contains(line) || self.inflight_data.contains_key(&line) {
+        if self.l1d.contains(line) || self.inflight_data.contains_key(line) {
             return;
         }
         self.stats.nlp_issued += 1;
@@ -449,7 +448,7 @@ impl Hierarchy {
             LineKind::Instruction => &mut self.inflight_instr,
             LineKind::Data => &mut self.inflight_data,
         };
-        if inflight.contains_key(&line) {
+        if inflight.contains_key(line) {
             return;
         }
         self.stats.nlp_issued += 1;
@@ -887,8 +886,8 @@ mod bypass_tests {
     struct AlwaysBypass;
 
     impl crate::policy::ReplacementPolicy for AlwaysBypass {
-        fn name(&self) -> String {
-            "always-bypass".to_string()
+        fn name(&self) -> &'static str {
+            "always-bypass"
         }
         fn on_hit(&mut self, _: usize, _: usize, _: &[LineState], _: &AccessInfo) {}
         fn on_fill(&mut self, _: usize, _: usize, _: &[LineState], _: &AccessInfo) {}
@@ -918,7 +917,10 @@ mod bypass_tests {
     #[test]
     fn bypassed_instruction_fetch_streams_uncached() {
         let cfg = tiny_cfg();
-        let mut h = Hierarchy::with_l2_policy(cfg, Box::new(AlwaysBypass));
+        let mut h = Hierarchy::with_l2_policy(
+            cfg,
+            Box::new(AlwaysBypass) as Box<dyn crate::policy::ReplacementPolicy>,
+        );
         let m = h.access_instr(100, 0, false);
         // Served from memory, full latency, but installed nowhere.
         assert_eq!(m.served_by, ServedBy::Memory);
@@ -938,7 +940,10 @@ mod bypass_tests {
     #[test]
     fn bypassing_policy_still_caches_data() {
         let cfg = tiny_cfg();
-        let mut h = Hierarchy::with_l2_policy(cfg, Box::new(AlwaysBypass));
+        let mut h = Hierarchy::with_l2_policy(
+            cfg,
+            Box::new(AlwaysBypass) as Box<dyn crate::policy::ReplacementPolicy>,
+        );
         h.access_data(500, 0, false, false);
         assert!(h.l1d.contains(500));
         assert!(h.l2.contains(500));

@@ -42,6 +42,7 @@ pub mod cache;
 pub mod config;
 pub mod hierarchy;
 pub mod line;
+pub mod linemap;
 pub mod policy;
 pub mod rng;
 pub mod stats;

@@ -71,8 +71,8 @@ impl DclipPolicy {
 }
 
 impl ReplacementPolicy for DclipPolicy {
-    fn name(&self) -> String {
-        "dclip".to_string()
+    fn name(&self) -> &'static str {
+        "dclip"
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _lines: &[LineState], _info: &AccessInfo) {

@@ -50,8 +50,8 @@ impl LinPolicy {
 }
 
 impl ReplacementPolicy for LinPolicy {
-    fn name(&self) -> String {
-        "lin".to_string()
+    fn name(&self) -> &'static str {
+        "lin"
     }
 
     fn on_hit(&mut self, set: usize, way: usize, lines: &[LineState], info: &AccessInfo) {
@@ -128,8 +128,8 @@ impl LacsPolicy {
 }
 
 impl ReplacementPolicy for LacsPolicy {
-    fn name(&self) -> String {
-        "lacs".to_string()
+    fn name(&self) -> &'static str {
+        "lacs"
     }
 
     fn on_hit(&mut self, set: usize, way: usize, lines: &[LineState], info: &AccessInfo) {

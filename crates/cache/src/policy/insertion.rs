@@ -67,10 +67,10 @@ impl InsertionPolicy {
 }
 
 impl ReplacementPolicy for InsertionPolicy {
-    fn name(&self) -> String {
+    fn name(&self) -> &'static str {
         match &self.base {
-            Base::TrueLru(_) => "m-insert(lru)".to_string(),
-            Base::TreePlru(_) => "m-insert(tplru)".to_string(),
+            Base::TrueLru(_) => "m-insert(lru)",
+            Base::TreePlru(_) => "m-insert(tplru)",
         }
     }
 

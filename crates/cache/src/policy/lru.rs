@@ -72,8 +72,8 @@ impl TrueLruPolicy {
 }
 
 impl ReplacementPolicy for TrueLruPolicy {
-    fn name(&self) -> String {
-        "lru".to_string()
+    fn name(&self) -> &'static str {
+        "lru"
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _lines: &[LineState], _info: &AccessInfo) {

@@ -103,7 +103,10 @@ impl AccessInfo {
 /// goes through [`crate::rng::XorShift64`].
 pub trait ReplacementPolicy: std::fmt::Debug + Send {
     /// Short name for reports ("lru", "drrip", "P(8):S&E&R(1/32)", …).
-    fn name(&self) -> String;
+    /// Returned as `&'static str` because stats/trace paths call it per
+    /// event; policies with computed notation intern it once at
+    /// construction (see [`intern_name`]).
+    fn name(&self) -> &'static str;
 
     /// Called on every hit to `way` in `set`.
     fn on_hit(&mut self, set: usize, way: usize, lines: &[LineState], info: &AccessInfo);
@@ -198,26 +201,173 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// Builds the policy for a cache of `sets` x `ways`, seeding any
-    /// randomness from `seed`.
-    pub fn build(self, sets: usize, ways: usize, seed: u64) -> Box<dyn ReplacementPolicy> {
+    /// randomness from `seed`. Returns the enum-dispatched [`PolicyImpl`]
+    /// so per-access policy calls need no vtable.
+    pub fn build(self, sets: usize, ways: usize, seed: u64) -> PolicyImpl {
         match self {
-            PolicyKind::TrueLru => Box::new(TrueLruPolicy::new(sets, ways)),
-            PolicyKind::TreePlru => Box::new(TreePlruPolicy::new(sets, ways)),
+            PolicyKind::TrueLru => PolicyImpl::TrueLru(TrueLruPolicy::new(sets, ways)),
+            PolicyKind::TreePlru => PolicyImpl::TreePlru(TreePlruPolicy::new(sets, ways)),
             PolicyKind::InsertionTrueLru => {
-                Box::new(InsertionPolicy::new(RecencyBase::TrueLru, sets, ways))
+                PolicyImpl::Insertion(InsertionPolicy::new(RecencyBase::TrueLru, sets, ways))
             }
             PolicyKind::InsertionTreePlru => {
-                Box::new(InsertionPolicy::new(RecencyBase::TreePlru, sets, ways))
+                PolicyImpl::Insertion(InsertionPolicy::new(RecencyBase::TreePlru, sets, ways))
             }
-            PolicyKind::Srrip => Box::new(RripPolicy::new(RripMode::Static, sets, ways, seed)),
-            PolicyKind::Brrip => Box::new(RripPolicy::new(RripMode::Bimodal, sets, ways, seed)),
-            PolicyKind::Drrip => Box::new(RripPolicy::new(RripMode::Dynamic, sets, ways, seed)),
-            PolicyKind::Pdp => Box::new(PdpPolicy::new(sets, ways, PdpPolicy::DEFAULT_DISTANCE)),
-            PolicyKind::Dclip => Box::new(DclipPolicy::new(sets, ways, seed)),
-            PolicyKind::Random => Box::new(RandomPolicy::new(seed)),
-            PolicyKind::Lin => Box::new(LinPolicy::new(sets, ways)),
-            PolicyKind::Lacs => Box::new(LacsPolicy::new(sets, ways)),
+            PolicyKind::Srrip => {
+                PolicyImpl::Rrip(RripPolicy::new(RripMode::Static, sets, ways, seed))
+            }
+            PolicyKind::Brrip => {
+                PolicyImpl::Rrip(RripPolicy::new(RripMode::Bimodal, sets, ways, seed))
+            }
+            PolicyKind::Drrip => {
+                PolicyImpl::Rrip(RripPolicy::new(RripMode::Dynamic, sets, ways, seed))
+            }
+            PolicyKind::Pdp => {
+                PolicyImpl::Pdp(PdpPolicy::new(sets, ways, PdpPolicy::DEFAULT_DISTANCE))
+            }
+            PolicyKind::Dclip => PolicyImpl::Dclip(DclipPolicy::new(sets, ways, seed)),
+            PolicyKind::Random => PolicyImpl::Random(RandomPolicy::new(seed)),
+            PolicyKind::Lin => PolicyImpl::Lin(LinPolicy::new(sets, ways)),
+            PolicyKind::Lacs => PolicyImpl::Lacs(LacsPolicy::new(sets, ways)),
         }
+    }
+}
+
+/// Interns a policy-notation string, returning a `&'static str` for
+/// [`ReplacementPolicy::name`]. Deduplicated so repeated constructions of
+/// the same notation (sweeps build thousands of policies) never grow the
+/// leaked pool beyond the set of distinct notations.
+pub fn intern_name(s: &str) -> &'static str {
+    use std::sync::Mutex;
+    static POOL: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut pool = POOL.lock().expect("intern pool poisoned");
+    if let Some(hit) = pool.iter().find(|p| **p == s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.push(leaked);
+    leaked
+}
+
+/// A replacement policy with enum dispatch on the per-access hot path.
+///
+/// Every policy in this crate gets its own variant, so [`crate::cache::Cache`]
+/// calls resolve to direct (inlinable) method calls instead of a vtable
+/// lookup per access. Policies defined elsewhere (the EMISSARY family in
+/// `emissary-core`, test doubles) ride in the [`PolicyImpl::Dyn`] fallback,
+/// which keeps the [`ReplacementPolicy`] trait as the extension point.
+#[derive(Debug)]
+pub enum PolicyImpl {
+    /// Classic true LRU.
+    TrueLru(TrueLruPolicy),
+    /// Tree pseudo-LRU.
+    TreePlru(TreePlruPolicy),
+    /// `M:` insertion treatment over either recency base.
+    Insertion(InsertionPolicy),
+    /// SRRIP/BRRIP/DRRIP.
+    Rrip(RripPolicy),
+    /// Protecting-distance policy.
+    Pdp(PdpPolicy),
+    /// DCLIP/CLIP.
+    Dclip(DclipPolicy),
+    /// Uniform-random victim.
+    Random(RandomPolicy),
+    /// MLP-aware LIN approximation.
+    Lin(LinPolicy),
+    /// LACS approximation.
+    Lacs(LacsPolicy),
+    /// Dynamically-dispatched fallback for policies defined outside this
+    /// crate (EMISSARY, GHRP, test doubles).
+    Dyn(Box<dyn ReplacementPolicy>),
+}
+
+impl From<Box<dyn ReplacementPolicy>> for PolicyImpl {
+    fn from(policy: Box<dyn ReplacementPolicy>) -> Self {
+        PolicyImpl::Dyn(policy)
+    }
+}
+
+/// Expands to a match over every variant, binding the inner policy as `$p`.
+macro_rules! dispatch {
+    ($self:expr, $p:ident => $call:expr) => {
+        match $self {
+            PolicyImpl::TrueLru($p) => $call,
+            PolicyImpl::TreePlru($p) => $call,
+            PolicyImpl::Insertion($p) => $call,
+            PolicyImpl::Rrip($p) => $call,
+            PolicyImpl::Pdp($p) => $call,
+            PolicyImpl::Dclip($p) => $call,
+            PolicyImpl::Random($p) => $call,
+            PolicyImpl::Lin($p) => $call,
+            PolicyImpl::Lacs($p) => $call,
+            PolicyImpl::Dyn($p) => $call,
+        }
+    };
+}
+
+impl PolicyImpl {
+    /// See [`ReplacementPolicy::name`].
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        dispatch!(self, p => p.name())
+    }
+
+    /// See [`ReplacementPolicy::on_hit`].
+    #[inline]
+    pub fn on_hit(&mut self, set: usize, way: usize, lines: &[LineState], info: &AccessInfo) {
+        dispatch!(self, p => p.on_hit(set, way, lines, info))
+    }
+
+    /// See [`ReplacementPolicy::on_fill`].
+    #[inline]
+    pub fn on_fill(&mut self, set: usize, way: usize, lines: &[LineState], info: &AccessInfo) {
+        dispatch!(self, p => p.on_fill(set, way, lines, info))
+    }
+
+    /// See [`ReplacementPolicy::on_fill_resolved`].
+    #[inline]
+    pub fn on_fill_resolved(
+        &mut self,
+        set: usize,
+        way: usize,
+        lines: &[LineState],
+        info: &AccessInfo,
+    ) {
+        dispatch!(self, p => p.on_fill_resolved(set, way, lines, info))
+    }
+
+    /// See [`ReplacementPolicy::victim`].
+    #[inline]
+    pub fn victim(&mut self, set: usize, lines: &[LineState], info: &AccessInfo) -> usize {
+        dispatch!(self, p => p.victim(set, lines, info))
+    }
+
+    /// See [`ReplacementPolicy::should_bypass`].
+    #[inline]
+    pub fn should_bypass(&mut self, set: usize, lines: &[LineState], info: &AccessInfo) -> bool {
+        dispatch!(self, p => p.should_bypass(set, lines, info))
+    }
+
+    /// See [`ReplacementPolicy::on_invalidate`].
+    #[inline]
+    pub fn on_invalidate(&mut self, set: usize, way: usize) {
+        dispatch!(self, p => p.on_invalidate(set, way))
+    }
+
+    /// See [`ReplacementPolicy::on_priority_change`].
+    #[inline]
+    pub fn on_priority_change(&mut self, set: usize, way: usize, lines: &[LineState]) {
+        dispatch!(self, p => p.on_priority_change(set, way, lines))
+    }
+
+    /// See [`ReplacementPolicy::set_tracer`].
+    pub fn set_tracer(&mut self, tracer: emissary_obs::Tracer) {
+        dispatch!(self, p => p.set_tracer(tracer))
+    }
+
+    /// See [`ReplacementPolicy::audit_set`].
+    pub fn audit_set(&self, set: usize, lines: &[LineState]) -> Option<String> {
+        dispatch!(self, p => p.audit_set(set, lines))
     }
 }
 

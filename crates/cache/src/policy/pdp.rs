@@ -58,8 +58,8 @@ impl PdpPolicy {
 }
 
 impl ReplacementPolicy for PdpPolicy {
-    fn name(&self) -> String {
-        "pdp".to_string()
+    fn name(&self) -> &'static str {
+        "pdp"
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _lines: &[LineState], _info: &AccessInfo) {

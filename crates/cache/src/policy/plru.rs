@@ -180,8 +180,8 @@ pub(crate) fn valid_mask(lines: &[LineState]) -> u32 {
 }
 
 impl ReplacementPolicy for TreePlruPolicy {
-    fn name(&self) -> String {
-        "tplru".to_string()
+    fn name(&self) -> &'static str {
+        "tplru"
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _lines: &[LineState], _info: &AccessInfo) {

@@ -20,8 +20,8 @@ impl RandomPolicy {
 }
 
 impl ReplacementPolicy for RandomPolicy {
-    fn name(&self) -> String {
-        "random".to_string()
+    fn name(&self) -> &'static str {
+        "random"
     }
 
     fn on_hit(&mut self, _set: usize, _way: usize, _lines: &[LineState], _info: &AccessInfo) {}

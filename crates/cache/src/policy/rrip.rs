@@ -122,11 +122,11 @@ impl RripPolicy {
 }
 
 impl ReplacementPolicy for RripPolicy {
-    fn name(&self) -> String {
+    fn name(&self) -> &'static str {
         match self.mode {
-            RripMode::Static => "srrip".to_string(),
-            RripMode::Bimodal => "brrip".to_string(),
-            RripMode::Dynamic => "drrip".to_string(),
+            RripMode::Static => "srrip",
+            RripMode::Bimodal => "brrip",
+            RripMode::Dynamic => "drrip",
         }
     }
 

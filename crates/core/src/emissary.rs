@@ -28,7 +28,7 @@ use crate::dual::{DualRecency, RecencyFlavor};
 pub struct EmissaryPolicy {
     n_protect: usize,
     recency: DualRecency,
-    display_name: String,
+    display_name: &'static str,
     /// §2's rejected variant: low-priority fills bypass the cache once the
     /// set holds `n_protect` high-priority lines. "Having low-priority
     /// lines bypass the cache was not found to be effective" — kept to
@@ -54,7 +54,7 @@ impl EmissaryPolicy {
         flavor: RecencyFlavor,
         sets: usize,
         ways: usize,
-        display_name: String,
+        display_name: &'static str,
     ) -> Self {
         assert!(
             n_protect < ways,
@@ -98,8 +98,8 @@ impl EmissaryPolicy {
 }
 
 impl ReplacementPolicy for EmissaryPolicy {
-    fn name(&self) -> String {
-        self.display_name.clone()
+    fn name(&self) -> &'static str {
+        self.display_name
     }
 
     fn on_hit(&mut self, set: usize, way: usize, lines: &[LineState], _info: &AccessInfo) {
@@ -212,7 +212,13 @@ mod tests {
     }
 
     fn policy(n: usize, ways: usize) -> EmissaryPolicy {
-        EmissaryPolicy::new(n, RecencyFlavor::TrueLru, 1, ways, format!("P({n}):test"))
+        EmissaryPolicy::new(
+            n,
+            RecencyFlavor::TrueLru,
+            1,
+            ways,
+            emissary_cache::policy::intern_name(&format!("P({n}):test")),
+        )
     }
 
     fn info() -> AccessInfo {
@@ -311,13 +317,7 @@ mod tests {
 
     #[test]
     fn tplru_flavor_respects_algorithm_one() {
-        let mut p = EmissaryPolicy::new(
-            2,
-            RecencyFlavor::TreePlru,
-            1,
-            8,
-            "P(2):tplru-test".to_string(),
-        );
+        let mut p = EmissaryPolicy::new(2, RecencyFlavor::TreePlru, 1, 8, "P(2):tplru-test");
         let lines = mk_lines(&[
             Some(true),
             Some(false),
@@ -391,10 +391,9 @@ mod bypass_tests {
     #[test]
     fn bypass_only_when_saturated_and_enabled() {
         let info = AccessInfo::demand(LineKind::Instruction);
-        let mut plain = EmissaryPolicy::new(2, RecencyFlavor::TrueLru, 1, 4, "p".into());
+        let mut plain = EmissaryPolicy::new(2, RecencyFlavor::TrueLru, 1, 4, "p");
         assert!(!plain.should_bypass(0, &full(4, 4), &info));
-        let mut byp =
-            EmissaryPolicy::new(2, RecencyFlavor::TrueLru, 1, 4, "p".into()).with_bypass();
+        let mut byp = EmissaryPolicy::new(2, RecencyFlavor::TrueLru, 1, 4, "p").with_bypass();
         assert!(byp.should_bypass(0, &full(2, 4), &info));
         assert!(!byp.should_bypass(0, &full(1, 4), &info));
         // High-priority fills and data fills always insert.
@@ -404,8 +403,7 @@ mod bypass_tests {
 
     #[test]
     fn bypass_requires_full_set() {
-        let mut byp =
-            EmissaryPolicy::new(1, RecencyFlavor::TrueLru, 1, 4, "p".into()).with_bypass();
+        let mut byp = EmissaryPolicy::new(1, RecencyFlavor::TrueLru, 1, 4, "p").with_bypass();
         let mut lines = full(2, 4);
         lines[3].valid = false;
         let info = AccessInfo::demand(LineKind::Instruction);

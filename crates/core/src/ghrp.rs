@@ -148,8 +148,8 @@ fn valid_mask(lines: &[LineState]) -> u32 {
 }
 
 impl ReplacementPolicy for GhrpPolicy {
-    fn name(&self) -> String {
-        "ghrp".to_string()
+    fn name(&self) -> &'static str {
+        "ghrp"
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _lines: &[LineState], _info: &AccessInfo) {
@@ -190,7 +190,7 @@ pub struct EmissaryGhrpPolicy {
     recency: DualRecency,
     predictor: DeadBlockPredictor,
     meta: Vec<LineMeta>,
-    display_name: String,
+    display_name: &'static str,
 }
 
 impl EmissaryGhrpPolicy {
@@ -205,7 +205,7 @@ impl EmissaryGhrpPolicy {
         flavor: RecencyFlavor,
         sets: usize,
         ways: usize,
-        display_name: String,
+        display_name: &'static str,
     ) -> Self {
         assert!(n_protect < ways, "P(N)+GHRP requires N < ways");
         Self {
@@ -263,8 +263,8 @@ impl EmissaryGhrpPolicy {
 }
 
 impl ReplacementPolicy for EmissaryGhrpPolicy {
-    fn name(&self) -> String {
-        self.display_name.clone()
+    fn name(&self) -> &'static str {
+        self.display_name
     }
 
     fn on_hit(&mut self, set: usize, way: usize, lines: &[LineState], _info: &AccessInfo) {
@@ -383,8 +383,7 @@ mod tests {
 
     #[test]
     fn combo_respects_algorithm_one_classes() {
-        let mut p =
-            EmissaryGhrpPolicy::new(2, RecencyFlavor::TreePlru, 1, 4, "P(2):S+GHRP".to_string());
+        let mut p = EmissaryGhrpPolicy::new(2, RecencyFlavor::TreePlru, 1, 4, "P(2):S+GHRP");
         let mut ls = lines(4);
         ls[0].priority = true;
         ls[1].priority = true;
@@ -412,8 +411,7 @@ mod tests {
 
     #[test]
     fn combo_prefers_dead_low_priority_lines() {
-        let mut p =
-            EmissaryGhrpPolicy::new(1, RecencyFlavor::TrueLru, 1, 4, "P(1):S+GHRP".to_string());
+        let mut p = EmissaryGhrpPolicy::new(1, RecencyFlavor::TrueLru, 1, 4, "P(1):S+GHRP");
         let mut ls = lines(4);
         ls[0].priority = true;
         for w in 0..4 {
@@ -428,7 +426,7 @@ mod tests {
 
     #[test]
     fn combo_name_carries_notation() {
-        let p = EmissaryGhrpPolicy::new(8, RecencyFlavor::TreePlru, 4, 16, "P(8):S&E+GHRP".into());
+        let p = EmissaryGhrpPolicy::new(8, RecencyFlavor::TreePlru, 4, 16, "P(8):S&E+GHRP");
         assert_eq!(p.name(), "P(8):S&E+GHRP");
     }
 }

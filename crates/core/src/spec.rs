@@ -12,7 +12,7 @@
 
 use std::str::FromStr;
 
-use emissary_cache::policy::{InsertionPolicy, PolicyKind, RecencyBase, ReplacementPolicy};
+use emissary_cache::policy::{intern_name, InsertionPolicy, PolicyImpl, PolicyKind, RecencyBase};
 
 use crate::dual::RecencyFlavor;
 use crate::emissary::EmissaryPolicy;
@@ -141,13 +141,14 @@ impl PolicySpec {
         }
     }
 
+    /// The paper notation for this spec ("P(8):S&E&R(1/32)", …), interned
+    /// so policies can expose it as a `&'static str` name.
+    pub fn notation(&self) -> &'static str {
+        intern_name(&self.to_string())
+    }
+
     /// Builds the L2 policy with the evaluation default (TPLRU recency).
-    pub fn build_l2_policy(
-        &self,
-        sets: usize,
-        ways: usize,
-        seed: u64,
-    ) -> Box<dyn ReplacementPolicy> {
+    pub fn build_l2_policy(&self, sets: usize, ways: usize, seed: u64) -> PolicyImpl {
         self.build_l2_policy_with(RecencyFlavor::TreePlru, sets, ways, seed)
     }
 
@@ -164,7 +165,7 @@ impl PolicySpec {
         sets: usize,
         ways: usize,
         seed: u64,
-    ) -> Box<dyn ReplacementPolicy> {
+    ) -> PolicyImpl {
         let plain = |sets, ways, seed| match flavor {
             RecencyFlavor::TrueLru => PolicyKind::TrueLru.build(sets, ways, seed),
             RecencyFlavor::TreePlru => PolicyKind::TreePlru.build(sets, ways, seed),
@@ -176,30 +177,32 @@ impl PolicySpec {
         match *self {
             // M:1 degenerates to the plain recency policy (every line MRU).
             PolicySpec::MruInsert(SelectionExpr::Always) => plain(sets, ways, seed),
-            PolicySpec::MruInsert(_) => Box::new(InsertionPolicy::new(base, sets, ways)),
+            PolicySpec::MruInsert(_) => {
+                PolicyImpl::Insertion(InsertionPolicy::new(base, sets, ways))
+            }
             // "An N of 0 is equivalent to the baseline" (§5.5).
             PolicySpec::Protect { n: 0, .. }
             | PolicySpec::ProtectBypass { n: 0, .. }
             | PolicySpec::ProtectGhrp { n: 0, .. } => plain(sets, ways, seed),
-            PolicySpec::Protect { n, .. } => {
-                Box::new(EmissaryPolicy::new(n, flavor, sets, ways, self.to_string()))
-            }
-            PolicySpec::ProtectBypass { n, .. } => {
-                Box::new(EmissaryPolicy::new(n, flavor, sets, ways, self.to_string()).with_bypass())
-            }
-            PolicySpec::ProtectGhrp { n, .. } => Box::new(crate::ghrp::EmissaryGhrpPolicy::new(
+            PolicySpec::Protect { n, .. } => PolicyImpl::Dyn(Box::new(EmissaryPolicy::new(
                 n,
                 flavor,
                 sets,
                 ways,
-                self.to_string(),
+                self.notation(),
+            ))),
+            PolicySpec::ProtectBypass { n, .. } => PolicyImpl::Dyn(Box::new(
+                EmissaryPolicy::new(n, flavor, sets, ways, self.notation()).with_bypass(),
+            )),
+            PolicySpec::ProtectGhrp { n, .. } => PolicyImpl::Dyn(Box::new(
+                crate::ghrp::EmissaryGhrpPolicy::new(n, flavor, sets, ways, self.notation()),
             )),
             PolicySpec::Srrip => PolicyKind::Srrip.build(sets, ways, seed),
             PolicySpec::Brrip => PolicyKind::Brrip.build(sets, ways, seed),
             PolicySpec::Drrip => PolicyKind::Drrip.build(sets, ways, seed),
             PolicySpec::Pdp => PolicyKind::Pdp.build(sets, ways, seed),
             PolicySpec::Dclip => PolicyKind::Dclip.build(sets, ways, seed),
-            PolicySpec::Ghrp => Box::new(crate::ghrp::GhrpPolicy::new(sets, ways)),
+            PolicySpec::Ghrp => PolicyImpl::Dyn(Box::new(crate::ghrp::GhrpPolicy::new(sets, ways))),
             PolicySpec::Lin => PolicyKind::Lin.build(sets, ways, seed),
             PolicySpec::Lacs => PolicyKind::Lacs.build(sets, ways, seed),
         }

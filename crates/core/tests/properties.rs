@@ -40,7 +40,7 @@ proptest! {
     ) {
         let ways = 16;
         let lines = lines_from_mask(high_mask, 0xffff, ways);
-        let mut policy = EmissaryPolicy::new(n_protect, flavor, 1, ways, "P(test)".into());
+        let mut policy = EmissaryPolicy::new(n_protect, flavor, 1, ways, "P(test)");
         let info = AccessInfo::demand(LineKind::Instruction);
         for w in 0..ways {
             policy.on_fill(0, w, &lines, &info);

@@ -11,6 +11,10 @@
 //! Statistics are intentionally simple: each benchmark runs one warm-up
 //! iteration plus `sample_size` timed iterations (bounded by
 //! `measurement_time`) and prints min/mean/max per-iteration wall time.
+//!
+//! Like real criterion, passing `--test` on the command line (i.e.
+//! `cargo bench -- --test`) runs each benchmark for a single iteration
+//! as a smoke test instead of a full measurement.
 
 use std::time::{Duration, Instant};
 
@@ -20,9 +24,19 @@ pub fn black_box<T>(value: T) -> T {
 }
 
 /// Top-level harness handle, passed to every bench function.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the command line: `--test` (as passed through by
+    /// `cargo bench -- --test`) selects single-iteration smoke mode.
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
@@ -32,6 +46,7 @@ impl Criterion {
             name: name.into(),
             sample_size: 10,
             measurement_time: Duration::from_secs(5),
+            test_mode: self.test_mode,
         }
     }
 
@@ -54,6 +69,7 @@ pub struct BenchmarkGroup {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup {
@@ -75,9 +91,20 @@ impl BenchmarkGroup {
         self
     }
 
-    /// Times `f` and prints a one-line summary.
+    /// Times `f` and prints a one-line summary. In `--test` mode the
+    /// benchmark runs for one unmeasured iteration and reports success.
     pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
         let name = name.into();
+        if self.test_mode {
+            let mut bencher = Bencher {
+                samples: Vec::new(),
+                budget: Duration::ZERO,
+                sample_size: 0,
+            };
+            f(&mut bencher);
+            println!("{}/{name}: test mode, 1 iteration ... ok", self.name);
+            return;
+        }
         let mut bencher = Bencher {
             samples: Vec::new(),
             budget: self.measurement_time,
@@ -169,5 +196,20 @@ mod tests {
         g.finish();
         // One warm-up plus four samples.
         assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn test_mode_runs_one_iteration() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(100).measurement_time(Duration::from_secs(60));
+        let mut runs = 0usize;
+        g.bench_function("once", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 1);
     }
 }

@@ -18,7 +18,10 @@ struct TracerInner {
 ///
 /// Disabled (the default), the handle is a `None` and every
 /// [`emit_with`](Tracer::emit_with) call is a single branch — no event is
-/// constructed, nothing allocates, nothing locks. Enabled, events are
+/// constructed, nothing allocates, nothing locks. The hot-path methods
+/// are `#[inline]` so the branch folds into callers across crate
+/// boundaries (the simulator's cycle loop calls them every cycle).
+/// Enabled, events are
 /// stamped with the current cycle and forwarded to the sink under a
 /// mutex (the hierarchy only traces from one thread, so the lock is
 /// uncontended).
@@ -44,11 +47,13 @@ impl Tracer {
     }
 
     /// Whether events will be recorded.
+    #[inline]
     pub fn enabled(&self) -> bool {
         self.inner.is_some()
     }
 
     /// Stamps the current simulated cycle (no-op when disabled).
+    #[inline]
     pub fn set_now(&self, cycle: u64) {
         if let Some(inner) = &self.inner {
             inner.now.store(cycle, Ordering::Relaxed);
@@ -56,6 +61,7 @@ impl Tracer {
     }
 
     /// The last stamped cycle (0 when disabled).
+    #[inline]
     pub fn now(&self) -> u64 {
         self.inner
             .as_ref()
@@ -65,6 +71,7 @@ impl Tracer {
     /// Records the event built by `make`, which receives the current
     /// cycle stamp. When disabled the closure never runs, so emit sites
     /// pay one branch and construct nothing.
+    #[inline]
     pub fn emit_with(&self, make: impl FnOnce(u64) -> TraceEvent) {
         if let Some(inner) = &self.inner {
             let event = make(inner.now.load(Ordering::Relaxed));

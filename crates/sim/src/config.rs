@@ -258,11 +258,14 @@ mod tests {
         }
     }
 
+    /// One rejection case: label, mutated config, expected-error check.
+    type RejectCase = (&'static str, SimConfig, fn(&ConfigError) -> bool);
+
     #[test]
     fn validate_rejects_degenerate_inputs() {
         // Table-driven: one mutation per row, with the variant we expect.
         let base = SimConfig::default;
-        let cases: Vec<(&str, SimConfig, fn(&ConfigError) -> bool)> = vec![
+        let cases: Vec<RejectCase> = vec![
             (
                 "zero ways",
                 {

@@ -30,10 +30,11 @@
 //! insertion-resolution path and the EMISSARY `P` bit.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use emissary_cache::addr::line_of;
 use emissary_cache::hierarchy::{Hierarchy, ServedBy};
+use emissary_cache::linemap::LineMap;
 use emissary_cache::rng::XorShift64;
 use emissary_core::reset::ResetSchedule;
 use emissary_core::selection::{MissFlags, SelectionExpr};
@@ -139,7 +140,7 @@ pub struct Machine<'p> {
     wp_pc: u64,
     resteer_done_at: Option<u64>,
     /// Flags accumulated for in-flight instruction lines.
-    pending_flags: HashMap<u64, MissFlags>,
+    pending_flags: LineMap<MissFlags>,
     /// Instruction fills awaiting selection resolution: (ready, line).
     pending_resolutions: BinaryHeap<Reverse<(u64, u64)>>,
     selection: Option<SelectionExpr>,
@@ -154,6 +155,15 @@ pub struct Machine<'p> {
     /// Open decode-starvation episode: (start cycle, blamed line, level).
     /// Tracked only while tracing is enabled.
     starve_episode: Option<(u64, u64, ServedBy)>,
+    /// Recycled block-instruction buffers: `predict_enqueue` pops one for
+    /// the walker to fill and `fetch` returns it after draining, so the
+    /// steady-state cycle loop never allocates payload `Vec`s. Bounded by
+    /// the FTQ depth plus the staged block.
+    instr_pool: Vec<Vec<DynInstr>>,
+    /// Per-fetch scratch: (line, ready cycle, reuse bucket, serving level)
+    /// for each distinct line the current block touches. Linear scan — a
+    /// block spans a handful of lines — and reused across cycles.
+    line_ready_scratch: Vec<(u64, u64, ReuseBucket, ServedBy)>,
 }
 
 impl<'p> Machine<'p> {
@@ -187,7 +197,7 @@ impl<'p> Machine<'p> {
             wp_active: false,
             wp_pc: 0,
             resteer_done_at: None,
-            pending_flags: HashMap::new(),
+            pending_flags: LineMap::new(),
             pending_resolutions: BinaryHeap::new(),
             selection: cfg.l2_policy.selection(),
             mark_priority: cfg.l2_policy.is_emissary(),
@@ -198,6 +208,8 @@ impl<'p> Machine<'p> {
             total_committed: 0,
             tracer: Tracer::disabled(),
             starve_episode: None,
+            instr_pool: Vec::new(),
+            line_ready_scratch: Vec::new(),
             cfg: cfg.clone(),
         }
     }
@@ -362,64 +374,85 @@ impl<'p> Machine<'p> {
 
     // --- Issue ------------------------------------------------------------
 
-    fn ready(&self, dep_seq: u64) -> bool {
-        dep_seq == 0 || self.comp_time[(dep_seq as usize) & (COMP_RING - 1)] <= self.now
-    }
-
     fn issue(&mut self) {
         let width = self.cfg.core.issue_width as usize;
         let window = self.cfg.core.scheduler_window;
-        let mut issued = 0usize;
-        let mut examined = 0usize;
+        let alu_latency = self.cfg.core.alu_latency;
+        let resteer_penalty = self.cfg.core.resteer_penalty;
         let front_seq = match self.rob.front() {
             Some(e) => e.seq,
             None => return,
         };
-        let mut iq = std::mem::take(&mut self.iq);
-        iq.retain(|&seq| {
-            if issued >= width || examined >= window {
-                return true;
-            }
+        // The scheduler only ever examines the oldest `window` entries and
+        // removes at most `width` of them, so scan a contiguous prefix
+        // in place and slide the untouched tail down once at the end —
+        // never walk the full queue per cycle (it is ~4× the window).
+        let Machine {
+            iq,
+            rob,
+            hierarchy,
+            comp_time,
+            stats,
+            resteer_done_at,
+            now,
+            ..
+        } = self;
+        let now = *now;
+        let ready = |comp_time: &[u64], dep_seq: u64| {
+            dep_seq == 0 || comp_time[(dep_seq as usize) & (COMP_RING - 1)] <= now
+        };
+        let q = iq.make_contiguous();
+        let len = q.len();
+        let (mut issued, mut examined) = (0usize, 0usize);
+        let (mut read, mut write) = (0usize, 0usize);
+        while read < len && issued < width && examined < window {
+            let seq = q[read];
             examined += 1;
             let idx = (seq - front_seq) as usize;
             // Entries ahead of front were committed already (impossible for
             // unissued), so idx is in range.
             let (dep1, dep2, op, mispredict) = {
-                let e = &self.rob[idx];
+                let e = &rob[idx];
                 (e.dep1, e.dep2, e.op, e.mispredict)
             };
-            if !self.ready(dep1) || !self.ready(dep2) {
-                return true;
+            if !ready(comp_time, dep1) || !ready(comp_time, dep2) {
+                q[write] = seq;
+                write += 1;
+                read += 1;
+                continue;
             }
             let completed_at = match op {
-                OpClass::Alu | OpClass::Branch => self.now + self.cfg.core.alu_latency,
+                OpClass::Alu | OpClass::Branch => now + alu_latency,
                 OpClass::Load(addr) => {
-                    self.hierarchy
-                        .access_data(line_of(addr), self.now, false, false)
+                    hierarchy
+                        .access_data(line_of(addr), now, false, false)
                         .ready_at
                 }
                 OpClass::Store(addr) => {
                     // Write-allocate now; retire through the store buffer.
-                    self.hierarchy
-                        .access_data(line_of(addr), self.now, true, false);
-                    self.now + 1
+                    hierarchy.access_data(line_of(addr), now, true, false);
+                    now + 1
                 }
             };
             {
-                let e = &mut self.rob[idx];
+                let e = &mut rob[idx];
                 e.issued = true;
                 e.completed_at = completed_at;
             }
-            self.comp_time[(seq as usize) & (COMP_RING - 1)] = completed_at;
+            comp_time[(seq as usize) & (COMP_RING - 1)] = completed_at;
             if mispredict {
                 // The mispredicted branch resolves: schedule the re-steer.
-                self.resteer_done_at = Some(completed_at + self.cfg.core.resteer_penalty);
+                *resteer_done_at = Some(completed_at + resteer_penalty);
             }
             issued += 1;
-            self.stats.issued += 1;
-            false
-        });
-        self.iq = iq;
+            stats.issued += 1;
+            read += 1;
+        }
+        if write != read {
+            q.copy_within(read..len, write);
+            let new_len = len - (read - write);
+            iq.truncate(new_len);
+        }
     }
 
     // --- Decode / dispatch --------------------------------------------------
@@ -507,8 +540,7 @@ impl<'p> Machine<'p> {
                     };
                     self.stats.starve_by_source[src_idx] += 1;
                     self.pending_flags
-                        .entry(line)
-                        .or_insert(MissFlags::NONE)
+                        .get_or_insert(line, MissFlags::NONE)
                         .merge(MissFlags {
                             starved_decode: true,
                             empty_issue_queue: empty_iq,
@@ -569,25 +601,35 @@ impl<'p> Machine<'p> {
             instrs,
             mispredicted,
         } = payload;
-        // Demand-access each distinct line the block touches.
-        let mut line_ready: HashMap<u64, (u64, ReuseBucket, ServedBy)> = HashMap::new();
+        // Demand-access each distinct line the block touches. The scratch
+        // is a reused linear-scan buffer (blocks span a handful of lines),
+        // so the steady-state fetch path performs no heap allocation.
+        self.line_ready_scratch.clear();
         let n = instrs.len();
-        for (i, di) in instrs.into_iter().enumerate() {
+        for (i, di) in instrs.iter().enumerate() {
             let line = line_of(di.pc);
-            let (ready_at, bucket, source) = match line_ready.get(&line) {
-                Some(&r) => r,
+            let cached = self
+                .line_ready_scratch
+                .iter()
+                .position(|&(l, _, _, _)| l == line);
+            let (ready_at, bucket, source) = match cached {
+                Some(idx) => {
+                    let (_, r, b, s) = self.line_ready_scratch[idx];
+                    (r, b, s)
+                }
                 None => {
                     let m = self.hierarchy.access_instr(line, self.now, false);
                     if m.needs_resolution {
                         self.pending_resolutions.push(Reverse((m.ready_at, line)));
                     }
                     let bucket = self.record_fetch_line(line, m.source);
-                    line_ready.insert(line, (m.ready_at, bucket, m.source));
+                    self.line_ready_scratch
+                        .push((line, m.ready_at, bucket, m.source));
                     (m.ready_at, bucket, m.source)
                 }
             };
             self.decode_queue.push_back(Fetched {
-                instr: di,
+                instr: *di,
                 ready_at,
                 line,
                 mispredict: mispredicted && i == n - 1,
@@ -595,6 +637,10 @@ impl<'p> Machine<'p> {
                 source,
             });
         }
+        // Recycle the payload buffer for the next emitted block.
+        let mut instrs = instrs;
+        instrs.clear();
+        self.instr_pool.push(instrs);
     }
 
     /// Figure 2 accounting for one demand-fetched line; returns the line's
@@ -672,11 +718,19 @@ impl<'p> Machine<'p> {
 
     fn fdip(&mut self) {
         let budget = self.cfg.core.fdip_per_cycle;
-        let lines: Vec<u64> = self.pfq.drain(budget).collect();
-        for line in lines {
-            let m = self.hierarchy.access_instr(line, self.now, true);
+        // Split borrows: drain the prefetch queue directly into the
+        // hierarchy without collecting into a temporary.
+        let Machine {
+            pfq,
+            hierarchy,
+            pending_resolutions,
+            now,
+            ..
+        } = self;
+        for line in pfq.drain(budget) {
+            let m = hierarchy.access_instr(line, *now, true);
             if m.needs_resolution {
-                self.pending_resolutions.push(Reverse((m.ready_at, line)));
+                pending_resolutions.push(Reverse((m.ready_at, line)));
             }
         }
     }
@@ -688,7 +742,12 @@ impl<'p> Machine<'p> {
             return;
         }
         if self.staged.is_none() {
-            let mut instrs = Vec::with_capacity(16);
+            // Reuse a recycled payload buffer (returned by `fetch`) so the
+            // steady-state loop allocates nothing per block.
+            let mut instrs = self
+                .instr_pool
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(16));
             let block = self.walker.emit_block(&mut instrs);
             let desc = BlockDesc {
                 start: block.start,
@@ -749,7 +808,7 @@ impl<'p> Machine<'p> {
                 break;
             }
             self.pending_resolutions.pop();
-            let flags = self.pending_flags.remove(&line).unwrap_or(MissFlags::NONE);
+            let flags = self.pending_flags.remove(line).unwrap_or(MissFlags::NONE);
             let high = match self.selection {
                 Some(sel) => sel.evaluate(flags, &mut self.sel_rng),
                 None => false,

@@ -40,6 +40,29 @@ pub struct SimRun {
     pub report: SimReport,
     /// Per-interval samples (empty when sampling was disabled).
     pub samples: Vec<IntervalSample>,
+    /// Host wall-clock seconds the run took (warmup + measurement), for
+    /// campaign-cost accounting. Not part of the simulated behaviour.
+    pub host_seconds: f64,
+}
+
+impl SimRun {
+    /// Simulated cycles per host second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.host_seconds > 0.0 {
+            self.report.cycles as f64 / self.host_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Committed instructions per host second, in millions (host MIPS).
+    pub fn mips(&self) -> f64 {
+        if self.host_seconds > 0.0 {
+            self.report.committed as f64 / self.host_seconds / 1e6
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Runs one benchmark under one configuration: builds the program, warms
@@ -82,6 +105,7 @@ pub fn run_sim_checked(
     obs: &ObsConfig,
     fault: &FaultConfig,
 ) -> Result<SimRun, SimAbort> {
+    let start = std::time::Instant::now();
     let program = profile.build();
     let walker = Walker::new(&program, profile.seed);
     let mut machine = Machine::new(walker, cfg);
@@ -123,6 +147,7 @@ pub fn run_sim_checked(
     Ok(SimRun {
         report: assemble_report(profile, cfg, &machine),
         samples,
+        host_seconds: start.elapsed().as_secs_f64(),
     })
 }
 
