@@ -1,18 +1,69 @@
 //! Runs every experiment in sequence (full reproduction sweep).
 //!
-//! Expect this to take a while at default run lengths; scale down with
+//! By default the sweep runs as one **campaign**: the union of all ten
+//! experiments' job matrices is deduplicated by config fingerprint and
+//! simulated once through a single globally scheduled pool
+//! (longest-job-first, see [`emissary_bench::campaign`]); the figures
+//! then render by replaying from the campaign memo, bit-identically to
+//! running them one at a time. `EMISSARY_SEQUENTIAL=1` restores the old
+//! figure-at-a-time execution (each with its own checkpoint file) for
+//! before/after measurement — both modes produce byte-identical tables.
+//!
+//! The sweep's wall-clock and job counts land in `BENCH_campaign.json`
+//! (label `before` under `EMISSARY_SEQUENTIAL=1`, else `after`), keeping
+//! the campaign-scale perf trajectory visible across PRs. Expect the
+//! sweep to take a while at default run lengths; scale down with
 //! `EMISSARY_MEASURE_INSNS` for a quick pass.
 
-use emissary_bench::experiments;
+use std::time::Instant;
+
+use emissary_bench::campaign::CostModel;
+use emissary_bench::results::{load_campaign_other_labels, write_campaign_file, CampaignEntry};
+use emissary_bench::{campaign, checkpoint, experiments, scale};
 
 fn main() {
     let cfg = emissary_bench::base_config();
+    let sequential = scale::sequential();
     eprintln!(
-        "running all experiments: warmup={} measure={} threads={}",
+        "running all experiments: warmup={} measure={} threads={} mode={}",
         cfg.warmup_instrs,
         cfg.measure_instrs,
-        emissary_bench::threads()
+        emissary_bench::threads(),
+        if sequential { "sequential" } else { "campaign" }
     );
+    let start = Instant::now();
+    let plan = experiments::campaign_jobs(&cfg);
+    let requested = plan.len();
+    let unique = campaign::dedup_jobs(plan.clone()).len();
+
+    // Campaign mode: simulate the deduplicated union up front through one
+    // globally scheduled pool; the per-figure runs below then replay from
+    // the memo instead of simulating.
+    let prefetch = if sequential {
+        None
+    } else {
+        checkpoint::begin("campaign");
+        let model = CostModel::new();
+        let global = checkpoint::global_handle();
+        let summary = campaign::prefetch(
+            plan,
+            &emissary_bench::PoolOptions::from_env(),
+            global.as_ref(),
+            &model,
+        );
+        drop(global);
+        eprintln!(
+            "campaign: prefetched {} unique of {} requested jobs ({} simulated, {} replayed, {} failed) in {:.1}s",
+            summary.unique,
+            summary.requested,
+            summary.simulated,
+            summary.replayed,
+            summary.failed,
+            summary.wall_seconds
+        );
+        Some(summary)
+    };
+
     type Runner<'a> = Box<dyn Fn() -> experiments::Experiment + 'a>;
     let runs: Vec<(&str, Runner)> = vec![
         ("fig1", Box::new(|| experiments::fig1(&cfg))),
@@ -26,10 +77,59 @@ fn main() {
         ("fig8", Box::new(|| experiments::fig8(&cfg, true))),
         ("ideal_l2", Box::new(|| experiments::ideal_l2(&cfg))),
     ];
+    let before_render = checkpoint::counters();
     for (name, run) in runs {
         eprintln!("=== {name} ===");
         emissary_bench::checkpoint::begin(name);
         let exp = run();
         emissary_bench::results::emit(name, &exp);
+    }
+    let after_render = checkpoint::counters();
+
+    // In campaign mode, every job the figures need was prefetched, so the
+    // render phase must simulate nothing: fresh simulations here mean the
+    // planner and the figures disagree on some job (drift), which would
+    // silently erode the dedup win.
+    let drift = if prefetch.is_some() {
+        after_render.simulated - before_render.simulated
+    } else {
+        0
+    };
+    let wall = start.elapsed().as_secs_f64();
+    let totals = checkpoint::counters();
+    let (simulated, replayed, failed) = match &prefetch {
+        Some(p) => (
+            p.simulated + drift,
+            after_render.replayed - before_render.replayed + p.replayed,
+            totals.failed,
+        ),
+        None => (totals.simulated, totals.replayed, totals.failed),
+    };
+    eprintln!(
+        "campaign summary: requests={requested} unique={unique} simulated={simulated} \
+         replayed={replayed} failed={failed} drift={drift} wall={wall:.1}s"
+    );
+
+    let label = if sequential { "before" } else { "after" };
+    let path = "BENCH_campaign.json";
+    let mut entries = load_campaign_other_labels(path, label);
+    entries.push(CampaignEntry {
+        label: label.to_string(),
+        requested: requested as u64,
+        unique: unique as u64,
+        simulated,
+        replayed,
+        failed,
+        wall_seconds: wall,
+    });
+    match write_campaign_file(
+        path,
+        cfg.warmup_instrs,
+        cfg.measure_instrs,
+        emissary_bench::threads(),
+        &entries,
+    ) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("error: cannot write {path}: {e}"),
     }
 }

@@ -1,13 +1,28 @@
-//! Campaign checkpointing: completed jobs stream to
-//! `results/<name>.ckpt.jsonl` keyed by a stable job fingerprint, and
-//! `EMISSARY_RESUME=1` replays them instead of re-simulating.
+//! Campaign checkpointing and the cross-experiment job memo.
+//!
+//! Completed jobs stream to a checkpoint file keyed by a stable job
+//! fingerprint, and the same map doubles as an **in-process memo**: once
+//! any experiment in the process has simulated a config, every later
+//! request for the same fingerprint — from the same figure or a different
+//! one — replays the stored [`SimRun`] bit-identically instead of
+//! re-simulating. The 13-benchmark baseline and EMISSARY-preferred rows
+//! recur across fig2/fig3/fig4/fig6/fig7/table5; the memo collapses them
+//! to one simulation each.
 //!
 //! A fingerprint is `<benchmark>|<policy notation>|<config hash>` — the
-//! hash covers the *entire* [`SimConfig`] (via its `Debug` rendering), so
-//! two jobs that differ in any knob (run lengths, hierarchy geometry,
-//! reset interval, seed, …) never collide. Because simulations are
-//! deterministic, a checkpointed run is byte-for-byte the run a fresh
-//! simulation would produce; a regression test holds this.
+//! hash covers the *entire* [`SimConfig`](emissary_sim::SimConfig) (via
+//! its `Debug` rendering), so two jobs that differ in any knob (run
+//! lengths, hierarchy geometry, reset interval, seed, …) never collide.
+//! The experiment (figure) name is **metadata only**: it is recorded on
+//! each checkpoint line for provenance but takes no part in the key, so
+//! resume state is shared across figures instead of siloed per binary.
+//!
+//! The process-global campaign spans experiments: [`begin`] opens the
+//! unified `results/campaign.ckpt.jsonl` once and later calls merely
+//! relabel the experiment metadata (under `EMISSARY_SEQUENTIAL=1` it
+//! reverts to the old one-file-per-figure behaviour, for before/after
+//! measurement). `EMISSARY_RESUME=1` loads completed jobs at open, so a
+//! second campaign over a warm checkpoint simulates nothing.
 //!
 //! The checkpoint file is append-only JSONL. Failed jobs are recorded too
 //! (with their failure kind), but only `"status":"completed"` records are
@@ -19,6 +34,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use emissary_obs::{JsonObject, JsonValue};
@@ -44,7 +60,9 @@ pub fn config_hash(job: &Job) -> u64 {
 }
 
 /// Stable identity of one simulation job within a campaign:
-/// `<benchmark>|<policy>|<config hash>`.
+/// `<benchmark>|<policy>|<config hash>`. Deliberately excludes the
+/// experiment name — identical configs in different figures are the same
+/// job.
 pub fn fingerprint(job: &Job) -> String {
     format!(
         "{}|{}|{:016x}",
@@ -54,12 +72,54 @@ pub fn fingerprint(job: &Job) -> String {
     )
 }
 
-/// One experiment campaign's checkpoint state: a resume map loaded at
-/// construction plus an append-only writer shared by the worker threads.
+/// Process-wide counters of how jobs were satisfied, across every pool
+/// run (with or without an active campaign). `simulated` counts fresh
+/// completed simulations, `replayed` counts memo/checkpoint hits, and
+/// `failed` counts panicked/aborted/rejected jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobCounters {
+    /// Fresh completed simulations.
+    pub simulated: u64,
+    /// Jobs served from the campaign memo or checkpoint.
+    pub replayed: u64,
+    /// Jobs that panicked, aborted, or were rejected.
+    pub failed: u64,
+}
+
+static SIMULATED: AtomicU64 = AtomicU64::new(0);
+static REPLAYED: AtomicU64 = AtomicU64::new(0);
+static FAILED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide job counters.
+pub fn counters() -> JobCounters {
+    JobCounters {
+        simulated: SIMULATED.load(Ordering::Relaxed),
+        replayed: REPLAYED.load(Ordering::Relaxed),
+        failed: FAILED.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn note_simulated() {
+    SIMULATED.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_replayed() {
+    REPLAYED.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_failed() {
+    FAILED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One campaign's dedup state: the fingerprint → run memo (seeded from
+/// the checkpoint file on resume, grown by every fresh completion) plus
+/// an append-only writer shared by the worker threads.
 pub struct Campaign {
     path: PathBuf,
-    resume: HashMap<String, SimRun>,
+    memo: Mutex<HashMap<String, SimRun>>,
+    loaded: usize,
     writer: Mutex<Option<BufWriter<fs::File>>>,
+    experiment: Mutex<String>,
 }
 
 impl Campaign {
@@ -69,7 +129,7 @@ impl Campaign {
     /// campaign records from scratch).
     pub fn begin_with(name: &str, dir: &Path, resume: bool) -> Campaign {
         let path = dir.join(format!("{name}.ckpt.jsonl"));
-        let resume_map = if resume {
+        let memo = if resume {
             load_completed(&path)
         } else {
             HashMap::new()
@@ -86,8 +146,10 @@ impl Campaign {
             .ok();
         Campaign {
             path,
-            resume: resume_map,
+            loaded: memo.len(),
+            memo: Mutex::new(memo),
             writer: Mutex::new(writer),
+            experiment: Mutex::new(name.to_string()),
         }
     }
 
@@ -96,21 +158,46 @@ impl Campaign {
         &self.path
     }
 
-    /// Number of completed jobs loaded for replay.
+    /// Number of completed jobs loaded from the checkpoint file for
+    /// replay (the memo grows past this as fresh jobs complete).
     pub fn resumable(&self) -> usize {
-        self.resume.len()
+        self.loaded
+    }
+
+    /// Number of completed jobs currently replayable (loaded + fresh).
+    pub fn memoized(&self) -> usize {
+        self.memo.lock().expect("campaign memo poisoned").len()
+    }
+
+    /// Relabels the experiment recorded on subsequent checkpoint lines.
+    /// Metadata only: the memo and fingerprints are unaffected.
+    pub fn set_experiment(&self, name: &str) {
+        *self.experiment.lock().expect("experiment label poisoned") = name.to_string();
     }
 
     /// Looks up a completed run for this fingerprint.
-    pub fn cached(&self, fp: &str) -> Option<&SimRun> {
-        self.resume.get(fp)
+    pub fn cached(&self, fp: &str) -> Option<SimRun> {
+        self.memo
+            .lock()
+            .expect("campaign memo poisoned")
+            .get(fp)
+            .cloned()
     }
 
     /// Appends one outcome record and flushes, so a killed campaign loses
     /// at most the record being written (and a torn tail line is skipped
-    /// on resume).
+    /// on resume). Completed runs also enter the in-process memo, making
+    /// them replayable by every later experiment in the process.
     pub fn record(&self, fp: &str, outcome: &JobOutcome) {
-        let line = render_record(fp, outcome);
+        if let JobOutcome::Completed { run, .. } = outcome {
+            self.memo
+                .lock()
+                .expect("campaign memo poisoned")
+                .insert(fp.to_string(), (**run).clone());
+        }
+        let experiment = self.experiment.lock().expect("experiment label poisoned");
+        let line = render_record(fp, &experiment, outcome);
+        drop(experiment);
         let mut guard = self.writer.lock().expect("checkpoint writer poisoned");
         if let Some(w) = guard.as_mut() {
             let ok = writeln!(w, "{line}").and_then(|()| w.flush());
@@ -123,10 +210,11 @@ impl Campaign {
 }
 
 /// Renders one checkpoint JSONL record for an outcome.
-fn render_record(fp: &str, outcome: &JobOutcome) -> String {
+fn render_record(fp: &str, experiment: &str, outcome: &JobOutcome) -> String {
     let mut obj = JsonObject::new();
     obj.field_str("record", "ckpt")
         .field_str("fingerprint", fp)
+        .field_str("experiment", experiment)
         .field_str("benchmark", outcome.benchmark())
         .field_str("policy", outcome.policy())
         .field_str("status", outcome.status());
@@ -195,22 +283,59 @@ fn load_completed(path: &Path) -> HashMap<String, SimRun> {
     map
 }
 
-/// The process-global campaign, set by each experiment binary before its
-/// jobs run (mirroring the process-global run log in [`crate::results`]).
+/// The name of the unified cross-experiment campaign file under
+/// `results/`: `campaign.ckpt.jsonl`.
+pub const UNIFIED_CAMPAIGN: &str = "campaign";
+
+/// The process-global campaign, shared by every experiment the process
+/// runs (mirroring the process-global run log in [`crate::results`]).
 static CAMPAIGN: Mutex<Option<Campaign>> = Mutex::new(None);
 
-/// Opens the global campaign for `name` under `results/`, resuming when
-/// `EMISSARY_RESUME=1`. Experiment binaries call this once per experiment,
-/// before building jobs; the pool checkpoints through it automatically.
+/// Opens (or relabels) the global campaign for experiment `name`.
+///
+/// By default all experiments in a process share one campaign file,
+/// `results/campaign.ckpt.jsonl`, keyed purely by config fingerprint: the
+/// first call opens it (resuming when `EMISSARY_RESUME=1`) and later
+/// calls only update the experiment metadata, so resume state and the
+/// in-process memo span figures. With `EMISSARY_SEQUENTIAL=1` each call
+/// opens the old per-figure `results/<name>.ckpt.jsonl` instead,
+/// reproducing the pre-dedup behaviour (figure-siloed state).
 pub fn begin(name: &str) {
-    let campaign = Campaign::begin_with(name, Path::new("results"), crate::scale::resume());
+    let mut slot = global();
+    if !crate::scale::sequential() {
+        if let Some(c) = slot.as_ref() {
+            c.set_experiment(name);
+            return;
+        }
+    }
+    let file = if crate::scale::sequential() {
+        name
+    } else {
+        UNIFIED_CAMPAIGN
+    };
+    let campaign = Campaign::begin_with(file, Path::new("results"), crate::scale::resume());
+    campaign.set_experiment(name);
     if campaign.resumable() > 0 {
         eprintln!(
-            "checkpoint: resuming {name}: {} completed job(s) will be replayed",
+            "checkpoint: resuming {file}: {} completed job(s) will be replayed",
             campaign.resumable()
         );
     }
-    *global() = Some(campaign);
+    *slot = Some(campaign);
+}
+
+/// Installs `campaign` as the process-global campaign (used by the
+/// campaign engine and tests to control the checkpoint location
+/// explicitly), returning the previous one.
+pub fn begin_global_with(campaign: Campaign) -> Option<Campaign> {
+    global().replace(campaign)
+}
+
+/// Closes the process-global campaign, returning it (flushed) so callers
+/// can inspect its state. Later pool runs see no campaign until the next
+/// [`begin`].
+pub fn end() -> Option<Campaign> {
+    global().take()
 }
 
 /// Locks the global campaign for the duration of a pool run. A panic
@@ -218,6 +343,14 @@ pub fn begin(name: &str) {
 /// cannot corrupt the campaign, so poisoning is ignored.
 pub(crate) fn global() -> std::sync::MutexGuard<'static, Option<Campaign>> {
     CAMPAIGN.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Locks and returns the process-global campaign for direct use — e.g.
+/// handing `Option<&Campaign>` to [`crate::campaign::prefetch`]. Drop the
+/// guard before running experiments through the ordinary pool APIs (they
+/// take the same lock).
+pub fn global_handle() -> std::sync::MutexGuard<'static, Option<Campaign>> {
+    global()
 }
 
 #[cfg(test)]
@@ -249,5 +382,41 @@ mod tests {
         b.config.seed ^= 1;
         assert_ne!(fingerprint(&a), fingerprint(&b));
         assert!(fingerprint(&a).starts_with("xapian|M:1|"));
+    }
+
+    #[test]
+    fn experiment_label_is_metadata_not_key() {
+        let dir = std::env::temp_dir().join(format!("emissary_ckpt_meta_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = Campaign::begin_with("label_a", &dir, false);
+        c.set_experiment("fig_x");
+        let cfg = emissary_sim::SimConfig {
+            warmup_instrs: 500,
+            measure_instrs: 2_000,
+            ..emissary_sim::SimConfig::default()
+        };
+        let job = Job::new(
+            emissary_workloads::Profile::by_name("xapian").unwrap(),
+            &cfg,
+            emissary_core::spec::PolicySpec::BASELINE,
+        );
+        let fp = fingerprint(&job);
+        let run = job.run_observed();
+        c.record(
+            &fp,
+            &JobOutcome::Completed {
+                run: Box::new(run.clone()),
+                resumed: false,
+            },
+        );
+        // Metadata on the line, not in the key.
+        let text = std::fs::read_to_string(c.path()).unwrap();
+        assert!(text.contains("\"experiment\":\"fig_x\""));
+        assert!(!fp.contains("fig_x"));
+        // The memo replays under any later experiment label.
+        c.set_experiment("fig_y");
+        let replayed = c.cached(&fp).expect("memoized");
+        assert_eq!(replayed.report, run.report);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

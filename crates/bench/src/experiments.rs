@@ -61,6 +61,52 @@ fn parse(s: &str) -> PolicySpec {
         .unwrap_or_else(|e| panic!("bad policy {s:?}: {e}"))
 }
 
+/// One `profiles × policies` sweep request over a config template — the
+/// declarative form of a [`run_matrix`] call. Each experiment builds its
+/// specs once and both the execution path ([`MatrixSpec::run`]) and the
+/// campaign planner ([`MatrixSpec::jobs`], [`campaign_jobs`]) derive from
+/// them, so the jobs an experiment *plans* are exactly the jobs it
+/// *runs* (fingerprints included).
+#[derive(Debug, Clone)]
+pub struct MatrixSpec {
+    /// Benchmarks to sweep.
+    pub profiles: Vec<Profile>,
+    /// Config template (policy field overridden per job).
+    pub template: SimConfig,
+    /// Policies to sweep.
+    pub policies: Vec<PolicySpec>,
+}
+
+impl MatrixSpec {
+    /// The jobs this sweep will submit, in submission order.
+    pub fn jobs(&self) -> Vec<Job> {
+        matrix_jobs(&self.profiles, &self.template, &self.policies)
+    }
+
+    /// Runs the sweep (see [`run_matrix`]).
+    pub fn run(&self) -> Matrix {
+        run_matrix(&self.profiles, &self.template, &self.policies)
+    }
+}
+
+/// The job list of one `profiles × policies` sweep. Used by both
+/// [`run_matrix`] and the campaign planner, so planned and executed
+/// fingerprints can never drift.
+pub fn matrix_jobs(
+    profiles: &[Profile],
+    template: &SimConfig,
+    policies: &[PolicySpec],
+) -> Vec<Job> {
+    profiles
+        .iter()
+        .flat_map(|p| {
+            policies
+                .iter()
+                .map(move |&pol| Job::new(p.clone(), template, pol))
+        })
+        .collect()
+}
+
 /// The completed runs of one `profiles x policies` sweep, plus the jobs
 /// that did not complete.
 #[derive(Debug, Default)]
@@ -87,14 +133,7 @@ impl Matrix {
 /// appended to the [`results`] run log, and every failure to the failure
 /// log, so the binaries' JSONL output covers both.
 pub fn run_matrix(profiles: &[Profile], template: &SimConfig, policies: &[PolicySpec]) -> Matrix {
-    let jobs: Vec<Job> = profiles
-        .iter()
-        .flat_map(|p| {
-            policies
-                .iter()
-                .map(move |&pol| Job::new(p.clone(), template, pol))
-        })
-        .collect();
+    let jobs = matrix_jobs(profiles, template, policies);
     let mut matrix = Matrix::default();
     for outcome in crate::pool::run_parallel_outcomes(&jobs) {
         match outcome {
@@ -176,22 +215,33 @@ fn fixed_opt(v: Option<f64>, prec: usize) -> String {
 // Figure 1
 // ---------------------------------------------------------------------------
 
+/// The sweeps Figure 1 runs: tomcat on the Figure 1 model (true LRU, no
+/// prefetchers) under the five-policy persistence progression.
+pub fn fig1_specs(template: &SimConfig) -> Vec<MatrixSpec> {
+    let mut cfg = SimConfig::figure1();
+    cfg.warmup_instrs = template.warmup_instrs;
+    cfg.measure_instrs = template.measure_instrs;
+    vec![MatrixSpec {
+        profiles: vec![Profile::by_name("tomcat").expect("tomcat profile")],
+        template: cfg,
+        policies: vec![
+            parse("M:1"),
+            parse("M:S"),
+            parse("P(8):S"),
+            parse("P(8):S&E"),
+            parse("P(8):S&E&R(1/32)"),
+        ],
+    }]
+}
+
 /// Figure 1: tomcat on a 1M 16-way true-LRU L2 with no prefetchers —
 /// speedup vs. L2 instruction MPKI, decode rate, L2 data MPKI, issue rate
 /// for the policy progression that motivates persistence.
 pub fn fig1(template: &SimConfig) -> Experiment {
-    let mut cfg = SimConfig::figure1();
-    cfg.warmup_instrs = template.warmup_instrs;
-    cfg.measure_instrs = template.measure_instrs;
-    let policies = [
-        parse("M:1"),
-        parse("M:S"),
-        parse("P(8):S"),
-        parse("P(8):S&E"),
-        parse("P(8):S&E&R(1/32)"),
-    ];
-    let tomcat = Profile::by_name("tomcat").expect("tomcat profile");
-    let matrix = run_matrix(std::slice::from_ref(&tomcat), &cfg, &policies);
+    let specs = fig1_specs(template);
+    let spec = &specs[0];
+    let policies = &spec.policies;
+    let matrix = spec.run();
     let base_cycles = matrix.get("tomcat", &policies[0]).map(|r| r.cycles);
     let mut t = Table::with_headers(&[
         "policy",
@@ -202,7 +252,7 @@ pub fn fig1(template: &SimConfig) -> Experiment {
         "issue_rate",
         "starv_cycles",
     ]);
-    for p in &policies {
+    for p in policies {
         match matrix.get("tomcat", p) {
             Some(r) => t.row(vec![
                 p.to_string(),
@@ -230,12 +280,28 @@ pub fn fig1(template: &SimConfig) -> Experiment {
 // Figure 2
 // ---------------------------------------------------------------------------
 
+/// The all-benchmarks × TPLRU+FDIP-baseline sweep shared by Figures 2–4
+/// (identical specs, so campaign dedup collapses them to one set of runs).
+fn baseline_specs(template: &SimConfig) -> Vec<MatrixSpec> {
+    vec![MatrixSpec {
+        profiles: Profile::all(),
+        template: template.clone(),
+        policies: vec![PolicySpec::BASELINE],
+    }]
+}
+
+/// The sweeps Figure 2 runs (the shared baseline matrix).
+pub fn fig2_specs(template: &SimConfig) -> Vec<MatrixSpec> {
+    baseline_specs(template)
+}
+
 /// Figure 2: reuse-distance mix of committed-path line accesses, the share
 /// of L2 instruction misses from long-reuse lines, and the distribution of
 /// starvation cycles across reuse classes.
 pub fn fig2(template: &SimConfig) -> Experiment {
-    let profiles = Profile::all();
-    let matrix = run_matrix(&profiles, template, &[PolicySpec::BASELINE]);
+    let specs = fig2_specs(template);
+    let profiles = specs[0].profiles.clone();
+    let matrix = specs[0].run();
     let mut t = Table::with_headers(&[
         "benchmark",
         "acc_short%",
@@ -303,11 +369,17 @@ pub fn fig2(template: &SimConfig) -> Experiment {
 // Figure 3
 // ---------------------------------------------------------------------------
 
+/// The sweeps Figure 3 runs (the shared baseline matrix).
+pub fn fig3_specs(template: &SimConfig) -> Vec<MatrixSpec> {
+    baseline_specs(template)
+}
+
 /// Figure 3: L1I / L1D / L2-instruction / L2-data MPKI per benchmark on the
 /// TPLRU + FDIP baseline.
 pub fn fig3(template: &SimConfig) -> Experiment {
-    let profiles = Profile::all();
-    let matrix = run_matrix(&profiles, template, &[PolicySpec::BASELINE]);
+    let specs = fig3_specs(template);
+    let profiles = specs[0].profiles.clone();
+    let matrix = specs[0].run();
     let mut t = Table::with_headers(&[
         "benchmark",
         "l1i_mpki",
@@ -349,10 +421,16 @@ pub fn fig3(template: &SimConfig) -> Experiment {
 // Figure 4
 // ---------------------------------------------------------------------------
 
+/// The sweeps Figure 4 runs (the shared baseline matrix).
+pub fn fig4_specs(template: &SimConfig) -> Vec<MatrixSpec> {
+    baseline_specs(template)
+}
+
 /// Figure 4: instruction footprint (MB of unique cache lines touched).
 pub fn fig4(template: &SimConfig) -> Experiment {
-    let profiles = Profile::all();
-    let matrix = run_matrix(&profiles, template, &[PolicySpec::BASELINE]);
+    let specs = fig4_specs(template);
+    let profiles = specs[0].profiles.clone();
+    let matrix = specs[0].run();
     let mut t = Table::with_headers(&["benchmark", "instr_footprint_mb"]);
     let mut sum = 0.0;
     let mut ok = 0usize;
@@ -419,23 +497,38 @@ pub fn table5_columns() -> Vec<PolicyColumn> {
     cols
 }
 
-/// Table 5: geomean speedup over the LRU+FDIP baseline across all 13
-/// benchmarks for `r` in {1/2..1/64} and `N` in {2..14}, plus the paper's
-/// "#Best" row and column.
-pub fn table5(template: &SimConfig) -> Experiment {
-    let profiles = Profile::all();
-    let bench_names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
-    let ns = [2usize, 4, 6, 8, 10, 12, 14];
+/// The `N` values Table 5 sweeps, in the paper's order.
+pub const TABLE5_NS: [usize; 7] = [2, 4, 6, 8, 10, 12, 14];
+
+/// The sweeps Table 5 runs: every benchmark under the baseline plus the
+/// full `P(N)` × selection-expression grid (sorted and deduplicated).
+pub fn table5_specs(template: &SimConfig) -> Vec<MatrixSpec> {
     let cols = table5_columns();
     let mut policies = vec![PolicySpec::BASELINE];
-    for &n in &ns {
+    for &n in &TABLE5_NS {
         for (_, make) in &cols {
             policies.push(make(n));
         }
     }
     policies.sort_by_key(|p| p.to_string());
     policies.dedup();
-    let matrix = run_matrix(&profiles, template, &policies);
+    vec![MatrixSpec {
+        profiles: Profile::all(),
+        template: template.clone(),
+        policies,
+    }]
+}
+
+/// Table 5: geomean speedup over the LRU+FDIP baseline across all 13
+/// benchmarks for `r` in {1/2..1/64} and `N` in {2..14}, plus the paper's
+/// "#Best" row and column.
+pub fn table5(template: &SimConfig) -> Experiment {
+    let specs = table5_specs(template);
+    let profiles = &specs[0].profiles;
+    let bench_names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+    let ns = TABLE5_NS;
+    let cols = table5_columns();
+    let matrix = specs[0].run();
     // Geomean grid; a cell is None when no benchmark completed both runs.
     let mut grid: Vec<Vec<Option<f64>>> = Vec::new();
     for &n in &ns {
@@ -494,23 +587,20 @@ pub fn table5(template: &SimConfig) -> Experiment {
 // Figure 5
 // ---------------------------------------------------------------------------
 
-/// Figure 5: per-benchmark speedup vs. L2-instruction MPKI and vs. change
-/// in starvation (decode + empty IQ) for the six line-policies as `N`
-/// sweeps 0..14 (tpcc omitted, as in the paper).
-pub fn fig5(template: &SimConfig) -> Experiment {
-    let profiles: Vec<Profile> = Profile::all()
-        .into_iter()
-        .filter(|p| p.name != "tpcc")
-        .collect();
-    let ns = [0usize, 2, 4, 6, 8, 10, 12, 14];
-    let m_policies = [
+/// A named factory producing one `P(N)` policy family member per `N`.
+type Fig5Family = (&'static str, Box<dyn Fn(usize) -> PolicySpec>);
+
+/// The Figure 5 policy series: the four `M:*` policies, the three `P(N)`
+/// families, and the swept `N` values — shared by the spec builder and
+/// the row renderer so they cannot diverge.
+fn fig5_series() -> (Vec<PolicySpec>, Vec<Fig5Family>, Vec<usize>) {
+    let m_policies = vec![
         parse("M:0"),
         parse("M:R(1/32)"),
         parse("M:S&E"),
         parse("M:S&E&R(1/32)"),
     ];
-    type Family = (&'static str, Box<dyn Fn(usize) -> PolicySpec>);
-    let p_families: Vec<Family> = vec![
+    let p_families: Vec<Fig5Family> = vec![
         (
             "P(N):R(1/32)",
             Box::new(|n| parse(&format!("P({n}):R(1/32)"))),
@@ -521,6 +611,14 @@ pub fn fig5(template: &SimConfig) -> Experiment {
             Box::new(|n| parse(&format!("P({n}):S&E&R(1/32)"))),
         ),
     ];
+    let ns = vec![0usize, 2, 4, 6, 8, 10, 12, 14];
+    (m_policies, p_families, ns)
+}
+
+/// The sweeps Figure 5 runs: every benchmark but tpcc under the baseline,
+/// the `M:*` policies, and the `P(N)` families over the `N` sweep.
+pub fn fig5_specs(template: &SimConfig) -> Vec<MatrixSpec> {
+    let (m_policies, p_families, ns) = fig5_series();
     let mut policies = vec![PolicySpec::BASELINE];
     policies.extend(m_policies);
     for (_, make) in &p_families {
@@ -530,7 +628,24 @@ pub fn fig5(template: &SimConfig) -> Experiment {
     }
     policies.sort_by_key(|p| p.to_string());
     policies.dedup();
-    let matrix = run_matrix(&profiles, template, &policies);
+    vec![MatrixSpec {
+        profiles: Profile::all()
+            .into_iter()
+            .filter(|p| p.name != "tpcc")
+            .collect(),
+        template: template.clone(),
+        policies,
+    }]
+}
+
+/// Figure 5: per-benchmark speedup vs. L2-instruction MPKI and vs. change
+/// in starvation (decode + empty IQ) for the six line-policies as `N`
+/// sweeps 0..14 (tpcc omitted, as in the paper).
+pub fn fig5(template: &SimConfig) -> Experiment {
+    let specs = fig5_specs(template);
+    let profiles = specs[0].profiles.clone();
+    let (m_policies, p_families, ns) = fig5_series();
+    let matrix = specs[0].run();
     let mut t = Table::with_headers(&[
         "benchmark",
         "policy",
@@ -589,12 +704,22 @@ pub fn fig5(template: &SimConfig) -> Experiment {
 // Figure 6
 // ---------------------------------------------------------------------------
 
+/// The sweeps Figure 6 runs: every benchmark under the baseline and the
+/// preferred EMISSARY configuration.
+pub fn fig6_specs(template: &SimConfig) -> Vec<MatrixSpec> {
+    vec![MatrixSpec {
+        profiles: Profile::all(),
+        template: template.clone(),
+        policies: vec![PolicySpec::BASELINE, preferred()],
+    }]
+}
+
 /// Figure 6: reduction in commit-path FE / BE / total stall cycles of
 /// P(8):S&E&R(1/32) relative to the TPLRU+FDIP baseline.
 pub fn fig6(template: &SimConfig) -> Experiment {
-    let profiles = Profile::all();
-    let policies = [PolicySpec::BASELINE, preferred()];
-    let matrix = run_matrix(&profiles, template, &policies);
+    let specs = fig6_specs(template);
+    let profiles = specs[0].profiles.clone();
+    let matrix = specs[0].run();
     let mut t = Table::with_headers(&[
         "benchmark",
         "fe_stall_reduction%",
@@ -669,14 +794,25 @@ pub fn fig7_policies() -> Vec<PolicySpec> {
     ]
 }
 
+/// The sweeps Figure 7 runs: every benchmark under the baseline plus the
+/// 12 comparison techniques.
+pub fn fig7_specs(template: &SimConfig) -> Vec<MatrixSpec> {
+    let mut policies = fig7_policies();
+    policies.insert(0, PolicySpec::BASELINE);
+    vec![MatrixSpec {
+        profiles: Profile::all(),
+        template: template.clone(),
+        policies,
+    }]
+}
+
 /// Figure 7: speedup and energy reduction of every technique relative to
 /// the TPLRU + FDIP baseline, per benchmark plus geomean.
 pub fn fig7(template: &SimConfig) -> Experiment {
-    let profiles = Profile::all();
+    let specs = fig7_specs(template);
+    let profiles = specs[0].profiles.clone();
     let bench_names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
-    let mut policies = fig7_policies();
-    policies.insert(0, PolicySpec::BASELINE);
-    let matrix = run_matrix(&profiles, template, &policies);
+    let matrix = specs[0].run();
     let techniques = fig7_policies();
 
     let mut headers = vec!["benchmark".to_string()];
@@ -740,14 +876,37 @@ pub fn fig7(template: &SimConfig) -> Experiment {
 // Figure 8
 // ---------------------------------------------------------------------------
 
+/// The sweeps Figure 8 runs: every benchmark under the two `P(8)` selection
+/// variants and, with `with_reset`, a second sweep of the preferred policy
+/// under the §6 periodic priority reset (the paper's 128M-instruction
+/// interval scaled to the measurement window).
+pub fn fig8_specs(template: &SimConfig, with_reset: bool) -> Vec<MatrixSpec> {
+    let mut specs = vec![MatrixSpec {
+        profiles: Profile::all(),
+        template: template.clone(),
+        policies: vec![parse("P(8):S&E"), parse("P(8):S&E&R(1/32)")],
+    }];
+    if with_reset {
+        let mut reset_cfg = template.clone();
+        reset_cfg.priority_reset_interval = Some((template.measure_instrs / 4).max(1));
+        specs.push(MatrixSpec {
+            profiles: Profile::all(),
+            template: reset_cfg,
+            policies: vec![parse("P(8):S&E&R(1/32)")],
+        });
+    }
+    specs
+}
+
 /// Figure 8: distribution of per-set high-priority line counts for
 /// P(8):S&E vs P(8):S&E&R(1/32), averaged across benchmarks at the end of
 /// simulation. With `with_reset`, adds a run using the §6 reset mechanism
 /// and reports its performance impact.
 pub fn fig8(template: &SimConfig, with_reset: bool) -> Experiment {
-    let profiles = Profile::all();
-    let policies = [parse("P(8):S&E"), parse("P(8):S&E&R(1/32)")];
-    let matrix = run_matrix(&profiles, template, &policies);
+    let specs = fig8_specs(template, with_reset);
+    let profiles = specs[0].profiles.clone();
+    let policies = specs[0].policies.clone();
+    let matrix = specs[0].run();
     let mut t = Table::with_headers(&[
         "high_priority_lines_per_set",
         "P(8):S&E  % of sets",
@@ -783,11 +942,7 @@ pub fn fig8(template: &SimConfig, with_reset: bool) -> Experiment {
         t,
     )];
     if with_reset {
-        // §6: periodic reset has negligible performance impact. Scale the
-        // paper's 128M-instruction interval to the measurement window.
-        let mut reset_cfg = template.clone();
-        reset_cfg.priority_reset_interval = Some((template.measure_instrs / 4).max(1));
-        let reset_matrix = run_matrix(&profiles, &reset_cfg, &[parse("P(8):S&E&R(1/32)")]);
+        let reset_matrix = specs[1].run();
         let mut rt = Table::with_headers(&["benchmark", "reset_speedup_vs_no_reset%"]);
         for p in &profiles {
             let (Some(no_reset), Some(with)) = (
@@ -817,14 +972,33 @@ pub fn fig8(template: &SimConfig, with_reset: bool) -> Experiment {
 // §5.6 ideal L2
 // ---------------------------------------------------------------------------
 
+/// The sweeps the §5.6 ideal-L2 experiment runs: every benchmark under
+/// the baseline and preferred policies on the real hierarchy, plus the
+/// baseline on a zero-cycle-miss L2 instruction cache.
+pub fn ideal_l2_specs(template: &SimConfig) -> Vec<MatrixSpec> {
+    let mut ideal_cfg = template.clone();
+    ideal_cfg.hierarchy.ideal_l2_instr = true;
+    vec![
+        MatrixSpec {
+            profiles: Profile::all(),
+            template: template.clone(),
+            policies: vec![PolicySpec::BASELINE, preferred()],
+        },
+        MatrixSpec {
+            profiles: Profile::all(),
+            template: ideal_cfg,
+            policies: vec![PolicySpec::BASELINE],
+        },
+    ]
+}
+
 /// §5.6 contextualization: speedup of an unrealizable zero-cycle-miss L2
 /// instruction cache, and EMISSARY's gain as a fraction of that bound.
 pub fn ideal_l2(template: &SimConfig) -> Experiment {
-    let profiles = Profile::all();
-    let matrix = run_matrix(&profiles, template, &[PolicySpec::BASELINE, preferred()]);
-    let mut ideal_cfg = template.clone();
-    ideal_cfg.hierarchy.ideal_l2_instr = true;
-    let ideal_matrix = run_matrix(&profiles, &ideal_cfg, &[PolicySpec::BASELINE]);
+    let specs = ideal_l2_specs(template);
+    let profiles = specs[0].profiles.clone();
+    let matrix = specs[0].run();
+    let ideal_matrix = specs[1].run();
     let mut t = Table::with_headers(&[
         "benchmark",
         "ideal_speedup%",
@@ -879,6 +1053,39 @@ pub fn ideal_l2(template: &SimConfig) -> Experiment {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Campaign planning
+// ---------------------------------------------------------------------------
+
+/// The full reproduction sweep's per-experiment specs, in execution order,
+/// keyed by experiment name — exactly the sweeps `all_experiments` runs
+/// (Figure 8 with its §6 reset sweep included).
+pub fn campaign_specs(template: &SimConfig) -> Vec<(&'static str, Vec<MatrixSpec>)> {
+    vec![
+        ("fig1", fig1_specs(template)),
+        ("fig2", fig2_specs(template)),
+        ("fig3", fig3_specs(template)),
+        ("fig4", fig4_specs(template)),
+        ("table5", table5_specs(template)),
+        ("fig5", fig5_specs(template)),
+        ("fig6", fig6_specs(template)),
+        ("fig7", fig7_specs(template)),
+        ("fig8", fig8_specs(template, true)),
+        ("ideal_l2", ideal_l2_specs(template)),
+    ]
+}
+
+/// Every job the full reproduction sweep will request, in execution order,
+/// duplicates included. Built from the same spec functions the experiments
+/// execute through, so planned job fingerprints are exactly the executed
+/// ones — the campaign prefetch can never drift from the figures.
+pub fn campaign_jobs(template: &SimConfig) -> Vec<Job> {
+    campaign_specs(template)
+        .iter()
+        .flat_map(|(_, specs)| specs.iter().flat_map(|s| s.jobs()))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -913,6 +1120,41 @@ mod tests {
         assert!(s.contains("# T"));
         assert!(s.contains("## c"));
         assert!(s.contains("TSV:"));
+    }
+
+    #[test]
+    fn campaign_plan_overlaps_across_figures() {
+        let template = SimConfig {
+            warmup_instrs: 1_000,
+            measure_instrs: 4_000,
+            ..SimConfig::default()
+        };
+        let jobs = campaign_jobs(&template);
+        let unique: std::collections::HashSet<String> =
+            jobs.iter().map(crate::checkpoint::fingerprint).collect();
+        assert!(!jobs.is_empty());
+        // Figures 2–4 share the all-benchmarks baseline sweep, and Table 5
+        // and Figure 7 request it again — the plan must contain real
+        // overlap for campaign dedup to collapse.
+        assert!(
+            unique.len() < jobs.len(),
+            "no overlap: {} unique of {}",
+            unique.len(),
+            jobs.len()
+        );
+        let fp_of = |specs: Vec<MatrixSpec>| -> Vec<String> {
+            specs
+                .iter()
+                .flat_map(|s| s.jobs())
+                .map(|j| crate::checkpoint::fingerprint(&j))
+                .collect()
+        };
+        assert_eq!(fp_of(fig2_specs(&template)), fp_of(fig3_specs(&template)));
+        assert_eq!(fp_of(fig3_specs(&template)), fp_of(fig4_specs(&template)));
+        // The reset sweep is part of the plan only when Figure 8 runs it.
+        assert!(
+            fp_of(fig8_specs(&template, true)).len() > fp_of(fig8_specs(&template, false)).len()
+        );
     }
 
     #[test]

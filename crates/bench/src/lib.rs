@@ -23,15 +23,26 @@
 //! * `EMISSARY_STALL_CYCLES` — forward-progress watchdog (`0` disables);
 //! * `EMISSARY_AUDIT=1` — cache-hierarchy invariant auditor at epoch
 //!   boundaries;
-//! * `EMISSARY_RESUME=1` — replay completed jobs from
-//!   `results/<name>.ckpt.jsonl` instead of re-simulating;
+//! * `EMISSARY_RESUME=1` — replay completed jobs from the campaign
+//!   checkpoint instead of re-simulating;
 //! * `EMISSARY_INJECT_PANIC=<benchmark>/<policy>` — fire drill: the
 //!   matching job panics, exercising the failure path end to end.
+//!
+//! Campaign-scale execution (see DESIGN.md "Campaign-scale execution"):
+//!
+//! * `EMISSARY_SEQUENTIAL=1` — figure-at-a-time execution with
+//!   per-figure checkpoint files instead of the deduped, globally
+//!   scheduled campaign over `results/campaign.ckpt.jsonl`;
+//! * `EMISSARY_PROGRAM_STORE=0` — rebuild each benchmark's program per
+//!   job instead of sharing one `Arc<Program>` per profile per process;
+//! * `EMISSARY_PROGRESS=0` — silence the campaign's stderr progress
+//!   line.
 //!
 //! The Criterion benches (`benches/figures.rs`, `benches/components.rs`)
 //! exercise scaled-down versions of every experiment plus component
 //! microbenchmarks.
 
+pub mod campaign;
 pub mod checkpoint;
 pub mod experiments;
 pub mod pool;
@@ -137,12 +148,7 @@ impl Job {
         }
         let tracer = match scale::trace_out() {
             Some(dir) => {
-                let file = format!(
-                    "{:016x}_{}_{}.jsonl",
-                    checkpoint::config_hash(self),
-                    sanitize(self.profile.name),
-                    sanitize(&self.config.l2_policy.to_string())
-                );
+                let file = self.trace_file_name();
                 let _ = std::fs::create_dir_all(&dir);
                 match JsonlSink::create(dir.join(&file)) {
                     Ok(sink) => Tracer::new(sink),
@@ -164,6 +170,21 @@ impl Job {
         };
         let obs = ObsConfig::new(tracer, scale::sample_interval());
         run_sim_checked(&self.profile, &self.config, &obs, &fault)
+    }
+
+    /// The job's event-trace file name:
+    /// `<config-hash>_<benchmark>_<policy>.jsonl`. A pure function of the
+    /// job's config fingerprint — independent of which experiment runs
+    /// the job, which process runs it, or whether it was deduplicated —
+    /// so campaign-level dedup and re-runs overwrite each job's trace in
+    /// place instead of scattering copies.
+    pub fn trace_file_name(&self) -> String {
+        format!(
+            "{:016x}_{}_{}.jsonl",
+            checkpoint::config_hash(self),
+            sanitize(self.profile.name),
+            sanitize(&self.config.l2_policy.to_string())
+        )
     }
 
     /// The injection in effect: the per-job field, or the process-wide

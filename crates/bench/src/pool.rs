@@ -244,6 +244,20 @@ pub fn run_parallel_outcomes_with(
     opts: &PoolOptions,
     campaign: Option<&Campaign>,
 ) -> Vec<JobOutcome> {
+    run_parallel_outcomes_hooked(jobs, opts, campaign, |_, _| {})
+}
+
+/// [`run_parallel_outcomes_with`] invoking `hook(index, outcome)` from
+/// the worker thread as each job finishes, before the outcome is
+/// collected. The campaign engine uses this for progress reporting and
+/// for feeding observed per-benchmark throughput back into its cost
+/// model; the hook must not panic.
+pub fn run_parallel_outcomes_hooked(
+    jobs: &[Job],
+    opts: &PoolOptions,
+    campaign: Option<&Campaign>,
+    hook: impl Fn(usize, &JobOutcome) + Sync,
+) -> Vec<JobOutcome> {
     if jobs.is_empty() {
         return Vec::new();
     }
@@ -252,6 +266,7 @@ pub fn run_parallel_outcomes_with(
     let mut slots: Vec<Option<JobOutcome>> = (0..jobs.len()).map(|_| None).collect();
     // Workers collect (index, outcome) pairs locally; results are written
     // back single-threaded after the scope joins.
+    let hook = &hook;
     let results: Vec<(usize, JobOutcome)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..workers {
@@ -263,7 +278,9 @@ pub fn run_parallel_outcomes_with(
                     if i >= jobs.len() {
                         break;
                     }
-                    local.push((i, run_one(&jobs[i], opts, campaign)));
+                    let outcome = run_one(&jobs[i], opts, campaign);
+                    hook(i, &outcome);
+                    local.push((i, outcome));
                 }
                 local
             }));
@@ -284,11 +301,12 @@ pub fn run_parallel_outcomes_with(
 
 /// Executes one job under the full isolation stack (checkpoint replay →
 /// validation → catch_unwind + fault detector) and records the outcome.
-fn run_one(job: &Job, opts: &PoolOptions, campaign: Option<&Campaign>) -> JobOutcome {
+pub(crate) fn run_one(job: &Job, opts: &PoolOptions, campaign: Option<&Campaign>) -> JobOutcome {
     let fp = fingerprint(job);
     if let Some(run) = campaign.and_then(|c| c.cached(&fp)) {
+        checkpoint::note_replayed();
         return JobOutcome::Completed {
-            run: Box::new(run.clone()),
+            run: Box::new(run),
             resumed: true,
         };
     }
@@ -321,6 +339,10 @@ fn run_one(job: &Job, opts: &PoolOptions, campaign: Option<&Campaign>) -> JobOut
             },
         }
     };
+    match &outcome {
+        JobOutcome::Completed { .. } => checkpoint::note_simulated(),
+        _ => checkpoint::note_failed(),
+    }
     if let Some(c) = campaign {
         c.record(&fp, &outcome);
     }

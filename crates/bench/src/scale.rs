@@ -93,6 +93,25 @@ pub fn resume() -> bool {
         .unwrap_or(false)
 }
 
+/// Whether campaign-scale dedup and scheduling are disabled
+/// (`EMISSARY_SEQUENTIAL=1`): experiments keep per-figure checkpoint
+/// files and `all_experiments` runs figure by figure with no job
+/// prefetch — the pre-dedup execution model, kept for before/after
+/// measurement (`BENCH_campaign.json`) and debugging.
+pub fn sequential() -> bool {
+    env::var("EMISSARY_SEQUENTIAL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Whether the campaign scheduler prints its stderr progress line
+/// (`EMISSARY_PROGRESS=0` silences it; default on).
+pub fn progress() -> bool {
+    env::var("EMISSARY_PROGRESS")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
 /// Fault-injection drill (`EMISSARY_INJECT_PANIC=<benchmark>/<policy>`):
 /// the matching job panics instead of running, exercising the harness's
 /// failure path end to end.
@@ -163,6 +182,22 @@ mod tests {
             env::var("EMISSARY_RESUME")
                 .map(|v| v == "1")
                 .unwrap_or(false)
+        );
+    }
+
+    #[test]
+    fn campaign_knobs_default_to_scheduled_with_progress() {
+        assert_eq!(
+            sequential(),
+            env::var("EMISSARY_SEQUENTIAL")
+                .map(|v| v == "1")
+                .unwrap_or(false)
+        );
+        assert_eq!(
+            progress(),
+            env::var("EMISSARY_PROGRESS")
+                .map(|v| v != "0")
+                .unwrap_or(true)
         );
     }
 }

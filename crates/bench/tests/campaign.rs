@@ -1,0 +1,152 @@
+//! End-to-end campaign-engine regression: the deduped, globally scheduled
+//! execution path must produce byte-identical experiment tables to the
+//! sequential per-figure path, replay memoized runs bit-identically, and
+//! simulate nothing on a second pass over a warm campaign.
+//!
+//! The engine phases share the process-global campaign slot and the
+//! process-wide job counters, so they live in ONE `#[test]` — integration
+//! tests in the same binary run concurrently and would otherwise race on
+//! that state.
+
+use std::path::PathBuf;
+
+use emissary_bench::campaign::{self, CostModel};
+use emissary_bench::checkpoint::{self, config_hash, fingerprint, Campaign};
+use emissary_bench::experiments::{
+    fig1, fig1_specs, fig4, fig4_specs, fig6, fig6_specs, MatrixSpec,
+};
+use emissary_bench::{Job, PoolOptions};
+use emissary_core::spec::PolicySpec;
+use emissary_sim::SimConfig;
+use emissary_workloads::Profile;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("emissary_campaign_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+fn template() -> SimConfig {
+    SimConfig {
+        warmup_instrs: 1_000,
+        measure_instrs: 4_000,
+        ..SimConfig::default()
+    }
+}
+
+fn spec_jobs(specs: &[Vec<MatrixSpec>]) -> Vec<Job> {
+    specs
+        .iter()
+        .flat_map(|v| v.iter().flat_map(|s| s.jobs()))
+        .collect()
+}
+
+#[test]
+fn campaign_engine_matches_sequential_and_replays_bit_identically() {
+    let template = template();
+    // Figures 1, 4, and 6 cover the interesting shapes cheaply: a
+    // separate config template (fig1), the shared baseline matrix (fig4),
+    // and a superset matrix overlapping it (fig6).
+    let render_all = || {
+        vec![
+            fig1(&template).render(),
+            fig4(&template).render(),
+            fig6(&template).render(),
+        ]
+    };
+
+    // Phase 1 — sequential: render with no campaign installed, so every
+    // job simulates freshly through the per-figure pools.
+    assert!(
+        checkpoint::end().is_none(),
+        "no other test may own the global campaign"
+    );
+    let sequential = render_all();
+
+    // Phase 2 — campaign: prefetch the deduplicated union through the
+    // global scheduler, then render through the ordinary path. Tables
+    // must come out byte-identical, with zero fresh simulations during
+    // the render (no planner/figure drift).
+    let dir = tmpdir("engine");
+    checkpoint::begin_global_with(Campaign::begin_with("campaign", &dir, false));
+    let jobs = spec_jobs(&[
+        fig1_specs(&template),
+        fig4_specs(&template),
+        fig6_specs(&template),
+    ]);
+    let requested = jobs.len();
+    let model = CostModel::new();
+    let before = checkpoint::counters();
+    let guard = checkpoint::global_handle();
+    let summary = campaign::prefetch(
+        jobs.clone(),
+        &PoolOptions::with_workers(2),
+        guard.as_ref(),
+        &model,
+    );
+    drop(guard);
+    assert_eq!(summary.requested, requested);
+    assert!(
+        summary.unique < requested,
+        "fig4's baseline sweep must dedup against fig6's: {} of {}",
+        summary.unique,
+        requested
+    );
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.simulated, summary.unique as u64);
+
+    let campaigned = render_all();
+    assert_eq!(sequential, campaigned, "tables diverged under the engine");
+    let after = checkpoint::counters();
+    assert_eq!(
+        after.simulated - before.simulated,
+        summary.unique as u64,
+        "render phase simulated fresh jobs: planner/figure drift"
+    );
+    assert!(after.replayed - before.replayed >= requested as u64);
+
+    // Phase 3 — steady state: a second prefetch over the warm campaign
+    // simulates nothing and replays everything.
+    let guard = checkpoint::global_handle();
+    let summary2 = campaign::prefetch(jobs, &PoolOptions::with_workers(2), guard.as_ref(), &model);
+    drop(guard);
+    assert_eq!(summary2.simulated, 0);
+    assert_eq!(summary2.failed, 0);
+    assert_eq!(summary2.replayed, summary2.unique as u64);
+
+    // Phase 4 — a memoized run replays bit-identically to a fresh
+    // simulation of the same config (deterministic content: report and
+    // samples; host timing is wall-clock and excluded).
+    let camp = checkpoint::end().expect("campaign installed above");
+    let probe = Job::new(
+        Profile::by_name("xapian").expect("xapian profile"),
+        &template,
+        PolicySpec::BASELINE,
+    );
+    let cached = camp.cached(&fingerprint(&probe)).expect("probe memoized");
+    let fresh = probe.run_observed();
+    assert_eq!(cached.report, fresh.report);
+    let jsons = |runs: &emissary_sim::SimRun| -> Vec<String> {
+        runs.samples.iter().map(|s| s.to_json()).collect()
+    };
+    assert_eq!(jsons(&cached), jsons(&fresh));
+}
+
+#[test]
+fn trace_file_names_are_fingerprint_stable() {
+    // Trace sinks are keyed by config hash, not by experiment or process
+    // sequence: the same job always maps to the same file, and any config
+    // change remaps it.
+    let job = Job::new(
+        Profile::by_name("xapian").expect("xapian profile"),
+        &template(),
+        PolicySpec::BASELINE,
+    );
+    let name = job.trace_file_name();
+    assert_eq!(name, job.clone().trace_file_name());
+    assert_eq!(name, format!("{:016x}_xapian_M_1.jsonl", config_hash(&job)));
+    let mut other = job.clone();
+    other.config.measure_instrs += 1;
+    assert_ne!(name, other.trace_file_name());
+}

@@ -4,7 +4,7 @@ use emissary_energy::{ActivityCounts, EnergyParams};
 use emissary_obs::{interval_chunks, IntervalSample, SampleSeries, Tracer};
 use emissary_stats::summary::mpki;
 use emissary_workloads::walker::Walker;
-use emissary_workloads::Profile;
+use emissary_workloads::{Profile, Program};
 
 use crate::config::SimConfig;
 use crate::fault::{FaultConfig, SimAbort};
@@ -105,9 +105,27 @@ pub fn run_sim_checked(
     obs: &ObsConfig,
     fault: &FaultConfig,
 ) -> Result<SimRun, SimAbort> {
+    // The shared store builds each benchmark's multi-megabyte CFG once per
+    // process; campaign-scale sweeps re-simulate the same 13 programs
+    // thousands of times, so rebuilding per run dominated short jobs.
+    let program = profile.shared_program();
+    run_sim_checked_on(&program, profile, cfg, obs, fault)
+}
+
+/// [`run_sim_checked`] over a prebuilt [`Program`]. The program must be
+/// the one `profile` builds (callers normally obtain it from
+/// [`Profile::shared_program`] or [`Profile::build`]); the walker is
+/// seeded from `profile.seed`, so the run is bit-identical to the
+/// build-per-run path.
+pub fn run_sim_checked_on(
+    program: &Program,
+    profile: &Profile,
+    cfg: &SimConfig,
+    obs: &ObsConfig,
+    fault: &FaultConfig,
+) -> Result<SimRun, SimAbort> {
     let start = std::time::Instant::now();
-    let program = profile.build();
-    let walker = Walker::new(&program, profile.seed);
+    let walker = Walker::new(program, profile.seed);
     let mut machine = Machine::new(walker, cfg);
     if obs.tracer.enabled() {
         machine.set_tracer(obs.tracer.clone());
@@ -247,6 +265,26 @@ mod tests {
         assert!(r.footprint_bytes > 0);
         assert_eq!(r.activity.cycles, r.cycles);
         assert!(r.energy_pj > 0.0);
+    }
+
+    #[test]
+    fn prebuilt_program_path_is_bit_identical() {
+        // The shared-store path and an explicit fresh build must produce
+        // the same report: the program is pure data, the walker owns all
+        // run state.
+        let p = Profile::by_name("xapian").unwrap();
+        let cfg = quick(PolicySpec::PREFERRED);
+        let via_store = run_sim(&p, &cfg);
+        let fresh = p.build();
+        let on_fresh = run_sim_checked_on(
+            &fresh,
+            &p,
+            &cfg,
+            &ObsConfig::default(),
+            &FaultConfig::none(),
+        )
+        .expect("no fault paths enabled");
+        assert_eq!(via_store, on_fresh.report);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod builder;
 pub mod profiles;
 pub mod program;
 pub mod rng;
+pub mod store;
 pub mod trace;
 pub mod walker;
 
@@ -52,5 +53,6 @@ pub use builder::build_program;
 pub use builder::ProgramShape;
 pub use profiles::Profile;
 pub use program::{BasicBlock, BlockId, InstrKind, InstrTemplate, Program, TermClass, Terminator};
+pub use store::shared_program;
 pub use trace::{TraceReader, TraceWriter};
 pub use walker::{DynBlock, DynInstr, DynOp, Walker};

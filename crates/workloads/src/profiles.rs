@@ -29,6 +29,12 @@ impl Profile {
         build_program(&self.shape)
     }
 
+    /// The process-shared program for this profile, built once and cached
+    /// (see [`crate::store`]). Identical to [`Profile::build`] in content.
+    pub fn shared_program(&self) -> std::sync::Arc<Program> {
+        crate::store::shared_program(self)
+    }
+
     /// Looks a profile up by its paper name (case-insensitive).
     pub fn by_name(name: &str) -> Option<Profile> {
         let lower = name.to_ascii_lowercase();
