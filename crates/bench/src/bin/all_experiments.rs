@@ -19,9 +19,22 @@ use std::time::Instant;
 
 use emissary_bench::campaign::CostModel;
 use emissary_bench::results::{load_campaign_other_labels, write_campaign_file, CampaignEntry};
-use emissary_bench::{campaign, checkpoint, experiments, scale};
+use emissary_bench::{campaign, chaos, checkpoint, experiments, scale};
+
+/// Reports progress so far and exits with the conventional SIGINT code.
+/// Completed jobs are already flushed to the checkpoint, so rerunning
+/// with `EMISSARY_RESUME=1` continues exactly where this run stopped.
+fn exit_interrupted(done: emissary_bench::checkpoint::JobCounters) -> ! {
+    eprintln!(
+        "campaign interrupted: {} simulated, {} replayed, {} failed so far; \
+         checkpoint flushed — rerun with EMISSARY_RESUME=1 to continue",
+        done.simulated, done.replayed, done.failed
+    );
+    std::process::exit(130);
+}
 
 fn main() {
+    chaos::install_signal_handlers();
     let cfg = emissary_bench::base_config();
     let sequential = scale::sequential();
     eprintln!(
@@ -53,14 +66,21 @@ fn main() {
         );
         drop(global);
         eprintln!(
-            "campaign: prefetched {} unique of {} requested jobs ({} simulated, {} replayed, {} failed) in {:.1}s",
+            "campaign: prefetched {} unique of {} requested jobs ({} simulated, {} replayed, {} failed, {} interrupted) in {:.1}s",
             summary.unique,
             summary.requested,
             summary.simulated,
             summary.replayed,
             summary.failed,
+            summary.interrupted,
             summary.wall_seconds
         );
+        if summary.interrupted > 0 || chaos::shutdown_requested() {
+            // Don't render figures from a partial memo: the interrupted
+            // jobs would re-simulate during render and the tables would
+            // mix this run with the next.
+            exit_interrupted(checkpoint::counters());
+        }
         Some(summary)
     };
 
@@ -79,6 +99,9 @@ fn main() {
     ];
     let before_render = checkpoint::counters();
     for (name, run) in runs {
+        if chaos::shutdown_requested() {
+            exit_interrupted(checkpoint::counters());
+        }
         eprintln!("=== {name} ===");
         emissary_bench::checkpoint::begin(name);
         let exp = run();
@@ -105,9 +128,17 @@ fn main() {
         ),
         None => (totals.simulated, totals.replayed, totals.failed),
     };
+    let (ckpt_recovered, ckpt_quarantined) = {
+        let global = checkpoint::global_handle();
+        global
+            .as_ref()
+            .map(|c| (c.resumable() as u64, c.quarantined()))
+            .unwrap_or((0, 0))
+    };
     eprintln!(
         "campaign summary: requests={requested} unique={unique} simulated={simulated} \
-         replayed={replayed} failed={failed} drift={drift} wall={wall:.1}s"
+         replayed={replayed} failed={failed} drift={drift} \
+         ckpt_recovered={ckpt_recovered} ckpt_quarantined={ckpt_quarantined} wall={wall:.1}s"
     );
 
     let label = if sequential { "before" } else { "after" };

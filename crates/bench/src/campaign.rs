@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::chaos::lock_unpoisoned;
 use crate::checkpoint::{self, Campaign};
 use crate::pool::{run_parallel_outcomes_hooked, JobOutcome, PoolOptions};
 use crate::{scale, Job};
@@ -64,7 +65,7 @@ impl CostModel {
         if mips <= 0.0 {
             return;
         }
-        let mut map = self.observed.lock().expect("cost model poisoned");
+        let mut map = lock_unpoisoned(&self.observed);
         let entry = map.entry(benchmark.to_string()).or_insert((0.0, 0));
         entry.0 += mips;
         entry.1 += 1;
@@ -74,7 +75,7 @@ impl CostModel {
     /// observations, else the footprint fallback (bigger instruction
     /// footprints miss more and simulate slower).
     pub fn mips(&self, benchmark: &str, code_kb: u32) -> f64 {
-        let map = self.observed.lock().expect("cost model poisoned");
+        let map = lock_unpoisoned(&self.observed);
         match map.get(benchmark) {
             Some(&(sum, n)) if n > 0 => sum / n as f64,
             _ => FALLBACK_MIPS / (1.0 + f64::from(code_kb) / 2048.0),
@@ -131,6 +132,9 @@ pub struct PrefetchSummary {
     pub replayed: u64,
     /// Jobs that panicked, aborted, or were rejected.
     pub failed: u64,
+    /// Jobs never started because a cooperative shutdown stopped the
+    /// pool; they remain pending and run on the next `EMISSARY_RESUME=1`.
+    pub interrupted: u64,
     /// Host seconds the prefetch took.
     pub wall_seconds: f64,
 }
@@ -192,7 +196,7 @@ impl<'m> Progress<'m> {
         }
         // One line per second at most (plus the final one), so a
         // thousand-job sweep does not drown stderr.
-        let mut last = self.last_line.lock().expect("progress clock poisoned");
+        let mut last = lock_unpoisoned(&self.last_line);
         if done < self.total && last.elapsed().as_secs_f64() < 1.0 {
             return;
         }
@@ -233,9 +237,13 @@ pub fn prefetch(
     let ordered = schedule(unique, model);
     let before = checkpoint::counters();
     let progress = Progress::new(&ordered, model, scale::progress());
-    let _ = run_parallel_outcomes_hooked(&ordered, opts, campaign, |i, outcome| {
+    let outcomes = run_parallel_outcomes_hooked(&ordered, opts, campaign, |i, outcome| {
         progress.tick(&ordered[i], outcome);
     });
+    let interrupted = outcomes
+        .iter()
+        .filter(|o| matches!(o, JobOutcome::Interrupted { .. }))
+        .count() as u64;
     let after = checkpoint::counters();
     PrefetchSummary {
         requested,
@@ -243,6 +251,7 @@ pub fn prefetch(
         simulated: after.simulated - before.simulated,
         replayed: after.replayed - before.replayed,
         failed: after.failed - before.failed,
+        interrupted,
         wall_seconds: start.elapsed().as_secs_f64(),
     }
 }

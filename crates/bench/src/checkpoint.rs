@@ -25,21 +25,34 @@
 //! second campaign over a warm checkpoint simulates nothing.
 //!
 //! The checkpoint file is append-only JSONL. Failed jobs are recorded too
-//! (with their failure kind), but only `"status":"completed"` records are
-//! replayed on resume — a resumed campaign re-runs exactly the jobs that
-//! did not finish. Records are replayed last-wins per fingerprint, and
-//! unparseable lines (torn writes from a killed process) are skipped.
+//! (with their failure kind and attempt number), but only
+//! `"status":"completed"` records are replayed on resume — a resumed
+//! campaign re-runs exactly the jobs that did not finish. Records are
+//! replayed last-wins per fingerprint.
+//!
+//! Resume is corruption-tolerant: lines that do not parse as complete
+//! checkpoint records (torn tails from a killed process, garbage from a
+//! bad disk) are **quarantined** — moved verbatim to
+//! `<name>.ckpt.quarantine` — and the checkpoint file is atomically
+//! rewritten (temp file + fsync + rename) with only the good lines, so
+//! the next resume starts from a clean segment. All filesystem access
+//! goes through [`crate::chaos::CkptIo`], so the chaos layer can inject
+//! I/O errors and torn writes at every step; any open/append failure
+//! logs a `ckpt_error` record (see [`crate::results`]) and degrades the
+//! campaign to memo-only (in-process) mode instead of silently not
+//! persisting.
 
 use std::collections::HashMap;
 use std::fs;
-use std::io::{BufWriter, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use emissary_obs::{JsonObject, JsonValue};
+use emissary_obs::{jsonl_lines, JsonObject, JsonValue};
 use emissary_sim::{SimReport, SimRun};
 
+use crate::chaos::{lock_unpoisoned, CkptIo};
 use crate::pool::JobOutcome;
 use crate::Job;
 
@@ -113,40 +126,69 @@ pub(crate) fn note_failed() {
 
 /// One campaign's dedup state: the fingerprint → run memo (seeded from
 /// the checkpoint file on resume, grown by every fresh completion) plus
-/// an append-only writer shared by the worker threads.
+/// an append-only writer shared by the worker threads. All filesystem
+/// access goes through the campaign's [`CkptIo`], so chaos and tests can
+/// interpose on every operation.
 pub struct Campaign {
     path: PathBuf,
+    quarantine_path: PathBuf,
+    io: Box<dyn CkptIo>,
     memo: Mutex<HashMap<String, SimRun>>,
     loaded: usize,
+    quarantined: u64,
     writer: Mutex<Option<BufWriter<fs::File>>>,
     experiment: Mutex<String>,
 }
 
 impl Campaign {
-    /// Opens the campaign `<dir>/<name>.ckpt.jsonl`. With `resume` set,
-    /// previously completed jobs are loaded and will be replayed;
-    /// otherwise any existing checkpoint file is truncated (a fresh
-    /// campaign records from scratch).
+    /// Opens the campaign `<dir>/<name>.ckpt.jsonl` with I/O from the
+    /// environment ([`crate::chaos::io_from_env`]: chaos-injected when
+    /// `EMISSARY_CHAOS_SEED` is set, plain `std::fs` otherwise). With
+    /// `resume` set, previously completed jobs are loaded and will be
+    /// replayed; otherwise any existing checkpoint file is truncated (a
+    /// fresh campaign records from scratch).
     pub fn begin_with(name: &str, dir: &Path, resume: bool) -> Campaign {
+        Self::begin_with_io(name, dir, resume, crate::chaos::io_from_env())
+    }
+
+    /// [`Campaign::begin_with`] over an explicit [`CkptIo`].
+    ///
+    /// Every failure degrades instead of aborting: an unreadable
+    /// checkpoint resumes empty, unusable lines are quarantined to
+    /// `<name>.ckpt.quarantine` (and the checkpoint atomically rewritten
+    /// without them), and an unopenable writer leaves the campaign in
+    /// memo-only mode — in-process dedup still works, nothing persists.
+    /// Each degradation logs a `ckpt_error` record.
+    pub fn begin_with_io(name: &str, dir: &Path, resume: bool, io: Box<dyn CkptIo>) -> Campaign {
         let path = dir.join(format!("{name}.ckpt.jsonl"));
-        let memo = if resume {
-            load_completed(&path)
+        let quarantine_path = dir.join(format!("{name}.ckpt.quarantine"));
+        let (memo, quarantined) = if resume {
+            salvage_checkpoint(&*io, &path, &quarantine_path)
         } else {
-            HashMap::new()
+            (HashMap::new(), 0)
         };
-        let _ = fs::create_dir_all(dir);
-        let writer = fs::OpenOptions::new()
-            .create(true)
-            .append(resume)
-            .truncate(!resume)
-            .write(true)
-            .open(&path)
-            .map(BufWriter::new)
-            .map_err(|e| eprintln!("checkpoint: cannot open {}: {e}", path.display()))
-            .ok();
+        if let Err(e) = io.create_dir_all(dir) {
+            crate::results::log_ckpt_error(&path, "mkdir", &e);
+            eprintln!("checkpoint: cannot create {}: {e}", dir.display());
+        }
+        let writer = match io.open_writer(&path, resume) {
+            Ok(f) => Some(BufWriter::new(f)),
+            Err(e) => {
+                crate::results::log_ckpt_error(&path, "open", &e);
+                eprintln!(
+                    "checkpoint: cannot open {}: {e}; continuing memo-only \
+                     (in-process dedup still active, nothing will persist)",
+                    path.display()
+                );
+                None
+            }
+        };
         Campaign {
             path,
+            quarantine_path,
+            io,
             loaded: memo.len(),
+            quarantined,
             memo: Mutex::new(memo),
             writer: Mutex::new(writer),
             experiment: Mutex::new(name.to_string()),
@@ -158,52 +200,70 @@ impl Campaign {
         &self.path
     }
 
+    /// The quarantine file path (`<name>.ckpt.quarantine`).
+    pub fn quarantine_path(&self) -> &Path {
+        &self.quarantine_path
+    }
+
     /// Number of completed jobs loaded from the checkpoint file for
     /// replay (the memo grows past this as fresh jobs complete).
     pub fn resumable(&self) -> usize {
         self.loaded
     }
 
+    /// Number of unusable checkpoint lines quarantined at open.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// Whether outcomes are persisting to the checkpoint file (false
+    /// after degradation to memo-only mode).
+    pub fn persistent(&self) -> bool {
+        lock_unpoisoned(&self.writer).is_some()
+    }
+
     /// Number of completed jobs currently replayable (loaded + fresh).
     pub fn memoized(&self) -> usize {
-        self.memo.lock().expect("campaign memo poisoned").len()
+        lock_unpoisoned(&self.memo).len()
     }
 
     /// Relabels the experiment recorded on subsequent checkpoint lines.
     /// Metadata only: the memo and fingerprints are unaffected.
     pub fn set_experiment(&self, name: &str) {
-        *self.experiment.lock().expect("experiment label poisoned") = name.to_string();
+        *lock_unpoisoned(&self.experiment) = name.to_string();
     }
 
     /// Looks up a completed run for this fingerprint.
     pub fn cached(&self, fp: &str) -> Option<SimRun> {
-        self.memo
-            .lock()
-            .expect("campaign memo poisoned")
-            .get(fp)
-            .cloned()
+        lock_unpoisoned(&self.memo).get(fp).cloned()
     }
 
     /// Appends one outcome record and flushes, so a killed campaign loses
-    /// at most the record being written (and a torn tail line is skipped
-    /// on resume). Completed runs also enter the in-process memo, making
-    /// them replayable by every later experiment in the process.
+    /// at most the record being written (and a torn tail line is
+    /// quarantined on resume). Completed runs also enter the in-process
+    /// memo, making them replayable by every later experiment in the
+    /// process.
+    ///
+    /// A failed append logs a `ckpt_error` record and tries to terminate
+    /// the (possibly torn) line with a bare newline so the next record
+    /// starts clean; if even that fails the writer is dropped and the
+    /// campaign continues memo-only.
     pub fn record(&self, fp: &str, outcome: &JobOutcome) {
         if let JobOutcome::Completed { run, .. } = outcome {
-            self.memo
-                .lock()
-                .expect("campaign memo poisoned")
-                .insert(fp.to_string(), (**run).clone());
+            lock_unpoisoned(&self.memo).insert(fp.to_string(), (**run).clone());
         }
-        let experiment = self.experiment.lock().expect("experiment label poisoned");
-        let line = render_record(fp, &experiment, outcome);
-        drop(experiment);
-        let mut guard = self.writer.lock().expect("checkpoint writer poisoned");
+        let line = render_record(fp, &lock_unpoisoned(&self.experiment), outcome);
+        let mut guard = lock_unpoisoned(&self.writer);
         if let Some(w) = guard.as_mut() {
-            let ok = writeln!(w, "{line}").and_then(|()| w.flush());
-            if let Err(e) = ok {
+            if let Err(e) = self.io.append_line(w, &line) {
+                crate::results::log_ckpt_error(&self.path, "append", &e);
                 eprintln!("checkpoint: write to {} failed: {e}", self.path.display());
-                *guard = None; // don't spam once the disk is gone
+                // Terminate whatever prefix landed so the *next* record
+                // gets its own line; the torn one quarantines on resume.
+                let salvage = w.write_all(b"\n").and_then(|()| w.flush());
+                if salvage.is_err() {
+                    *guard = None; // memo-only from here on
+                }
             }
         }
     }
@@ -217,7 +277,8 @@ fn render_record(fp: &str, experiment: &str, outcome: &JobOutcome) -> String {
         .field_str("experiment", experiment)
         .field_str("benchmark", outcome.benchmark())
         .field_str("policy", outcome.policy())
-        .field_str("status", outcome.status());
+        .field_str("status", outcome.status())
+        .field_u64("attempts", u64::from(outcome.attempts()));
     match outcome {
         JobOutcome::Completed { run, .. } => {
             obj.field_raw("report", &run.report.to_json());
@@ -232,55 +293,128 @@ fn render_record(fp: &str, experiment: &str, outcome: &JobOutcome) -> String {
     obj.finish()
 }
 
-/// Loads the completed runs from a checkpoint file, last record winning
-/// per fingerprint. Missing files and malformed lines are skipped.
-fn load_completed(path: &Path) -> HashMap<String, SimRun> {
-    let Ok(text) = fs::read_to_string(path) else {
-        return HashMap::new();
-    };
-    let mut map = HashMap::new();
-    for line in text.lines() {
-        let Ok(v) = JsonValue::parse(line) else {
-            continue; // torn write
-        };
-        let Some(fp) = v.get("fingerprint").and_then(|f| f.as_str()) else {
-            continue;
-        };
-        if v.get("status").and_then(|s| s.as_str()) != Some("completed") {
-            // A later failure record does not invalidate an earlier
-            // completed one: keep whatever we have.
-            continue;
-        }
-        let Some(report) = v.get("report").and_then(SimReport::from_json) else {
-            continue;
-        };
-        let samples: Option<Vec<_>> = v
-            .get("samples")
-            .and_then(|s| s.as_array())
-            .map(|items| {
-                items
-                    .iter()
-                    .map(emissary_obs::IntervalSample::from_json)
-                    .collect()
-            })
-            .unwrap_or_else(|| Some(Vec::new()));
-        let Some(samples) = samples else {
-            continue;
-        };
-        let host_seconds = v
-            .get("host_seconds")
-            .and_then(|h| h.as_f64())
-            .unwrap_or(0.0);
-        map.insert(
-            fp.to_string(),
-            SimRun {
-                report,
-                samples,
-                host_seconds,
-            },
-        );
+/// Decodes one parsed checkpoint record. `Ok(Some(..))` is a completed
+/// run to memoize, `Ok(None)` a valid non-completed record (failures are
+/// kept for provenance but never replayed), `Err(())` an object that is
+/// not a usable checkpoint record — quarantine it.
+fn decode_record(v: &JsonValue) -> Result<Option<(String, SimRun)>, ()> {
+    let fp = v.get("fingerprint").and_then(|f| f.as_str()).ok_or(())?;
+    let status = v.get("status").and_then(|s| s.as_str()).ok_or(())?;
+    if status != "completed" {
+        // A later failure record does not invalidate an earlier
+        // completed one: keep whatever we have.
+        return Ok(None);
     }
-    map
+    let report = v.get("report").and_then(SimReport::from_json).ok_or(())?;
+    let samples: Vec<_> = match v.get("samples").and_then(|s| s.as_array()) {
+        Some(items) => items
+            .iter()
+            .map(emissary_obs::IntervalSample::from_json)
+            .collect::<Option<Vec<_>>>()
+            .ok_or(())?,
+        None => Vec::new(),
+    };
+    let host_seconds = v
+        .get("host_seconds")
+        .and_then(|h| h.as_f64())
+        .unwrap_or(0.0);
+    Ok(Some((
+        fp.to_string(),
+        SimRun {
+            report,
+            samples,
+            host_seconds,
+        },
+    )))
+}
+
+/// Loads a checkpoint file for resume, quarantining every unusable line.
+///
+/// Good lines (complete JSON checkpoint records — completed runs with a
+/// parseable report, or failure records) are kept; completed runs enter
+/// the returned memo last-wins per fingerprint. Bad lines (torn tails,
+/// garbage, records missing their payload) are appended verbatim to
+/// `quarantine` and the checkpoint is atomically rewritten (temp file +
+/// fsync + rename) with only the good lines, so the next resume starts
+/// from a clean segment. Returns the memo and the quarantined-line count.
+fn salvage_checkpoint(
+    io: &dyn CkptIo,
+    path: &Path,
+    quarantine: &Path,
+) -> (HashMap<String, SimRun>, u64) {
+    let text = match io.read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            if e.kind() != io::ErrorKind::NotFound {
+                crate::results::log_ckpt_error(path, "read", &e);
+                eprintln!(
+                    "checkpoint: cannot read {}: {e}; resuming empty",
+                    path.display()
+                );
+            }
+            return (HashMap::new(), 0);
+        }
+    };
+    let mut memo = HashMap::new();
+    let mut good: Vec<&str> = Vec::new();
+    let mut bad: Vec<&str> = Vec::new();
+    for line in jsonl_lines(&text) {
+        let usable = line.parsed.as_ref().map_err(|_| ()).and_then(decode_record);
+        match usable {
+            Ok(entry) => {
+                good.push(line.raw);
+                if let Some((fp, run)) = entry {
+                    memo.insert(fp, run);
+                }
+            }
+            Err(()) => bad.push(line.raw),
+        }
+    }
+    if !bad.is_empty() {
+        quarantine_lines(io, quarantine, &bad);
+        // Rotate the checkpoint to just the good lines so torn tails are
+        // not re-parsed (and re-quarantined) by every later resume.
+        let mut contents = good.join("\n");
+        if !contents.is_empty() {
+            contents.push('\n');
+        }
+        if let Err(e) = io.replace_file(path, &contents) {
+            crate::results::log_ckpt_error(path, "rotate", &e);
+            eprintln!(
+                "checkpoint: cannot rewrite {} after quarantine: {e}",
+                path.display()
+            );
+        }
+    }
+    (memo, bad.len() as u64)
+}
+
+/// Appends unusable checkpoint lines verbatim to the quarantine file
+/// (best-effort: quarantine exists for post-mortems, losing it must not
+/// block the resume itself).
+fn quarantine_lines(io: &dyn CkptIo, quarantine: &Path, lines: &[&str]) {
+    let mut w = match io.open_writer(quarantine, true) {
+        Ok(f) => BufWriter::new(f),
+        Err(e) => {
+            crate::results::log_ckpt_error(quarantine, "quarantine", &e);
+            eprintln!(
+                "checkpoint: cannot open quarantine {}: {e}; {} bad line(s) dropped",
+                quarantine.display(),
+                lines.len()
+            );
+            return;
+        }
+    };
+    for line in lines {
+        if let Err(e) = io.append_line(&mut w, line) {
+            crate::results::log_ckpt_error(quarantine, "quarantine", &e);
+            eprintln!(
+                "checkpoint: quarantine write to {} failed: {e}",
+                quarantine.display()
+            );
+            return;
+        }
+    }
 }
 
 /// The name of the unified cross-experiment campaign file under
@@ -315,10 +449,12 @@ pub fn begin(name: &str) {
     };
     let campaign = Campaign::begin_with(file, Path::new("results"), crate::scale::resume());
     campaign.set_experiment(name);
-    if campaign.resumable() > 0 {
+    if campaign.resumable() > 0 || campaign.quarantined() > 0 {
         eprintln!(
-            "checkpoint: resuming {file}: {} completed job(s) will be replayed",
-            campaign.resumable()
+            "checkpoint: resuming {file}: {} completed job(s) will be replayed, \
+             {} unusable line(s) quarantined",
+            campaign.resumable(),
+            campaign.quarantined()
         );
     }
     *slot = Some(campaign);
@@ -407,6 +543,7 @@ mod tests {
             &JobOutcome::Completed {
                 run: Box::new(run.clone()),
                 resumed: false,
+                attempts: 1,
             },
         );
         // Metadata on the line, not in the key.

@@ -26,7 +26,12 @@
 //! * `EMISSARY_RESUME=1` — replay completed jobs from the campaign
 //!   checkpoint instead of re-simulating;
 //! * `EMISSARY_INJECT_PANIC=<benchmark>/<policy>` — fire drill: the
-//!   matching job panics, exercising the failure path end to end.
+//!   matching job panics, exercising the failure path end to end;
+//! * `EMISSARY_JOB_RETRIES` — bounded retry budget for panicked /
+//!   retryable-aborted jobs (default 1; `0` disables);
+//! * `EMISSARY_CHAOS_SEED` / `EMISSARY_CHAOS_RATE` — deterministic
+//!   fault injection across the campaign I/O and job paths (see
+//!   [`chaos`]).
 //!
 //! Campaign-scale execution (see DESIGN.md "Campaign-scale execution"):
 //!
@@ -43,6 +48,7 @@
 //! microbenchmarks.
 
 pub mod campaign;
+pub mod chaos;
 pub mod checkpoint;
 pub mod experiments;
 pub mod pool;
@@ -146,30 +152,56 @@ impl Job {
             Some(FaultInjection::Stall) => fault.stall_cycles = Some(1),
             None => {}
         }
-        let tracer = match scale::trace_out() {
+        let (tracer, trace_path) = match scale::trace_out() {
             Some(dir) => {
-                let file = self.trace_file_name();
+                let path = dir.join(self.trace_file_name());
                 let _ = std::fs::create_dir_all(&dir);
-                match JsonlSink::create(dir.join(&file)) {
-                    Ok(sink) => Tracer::new(sink),
+                match std::fs::File::create(&path).map(std::io::BufWriter::new) {
+                    Ok(w) => {
+                        // Under chaos, trace writes go through an
+                        // error-injecting adapter so the sink's
+                        // degradation path gets exercised for real.
+                        let tracer = match chaos::plan_from_env() {
+                            Some(plan) => Tracer::new(JsonlSink::new(chaos::ChaosWriter::new(
+                                w,
+                                plan,
+                                "trace.write",
+                            ))),
+                            None => Tracer::new(JsonlSink::new(w)),
+                        };
+                        (tracer, Some(path))
+                    }
                     Err(e) => {
                         // Degrade to an untraced run, but leave a record
                         // in the experiment's results file.
                         results::log_trace_error(
                             self.profile.name,
                             &self.config.l2_policy.to_string(),
-                            &dir.join(&file).display().to_string(),
+                            &path.display().to_string(),
                             &e.to_string(),
                         );
                         eprintln!("trace: cannot open sink under {}: {e}", dir.display());
-                        Tracer::disabled()
+                        (Tracer::disabled(), None)
                     }
                 }
             }
-            None => Tracer::disabled(),
+            None => (Tracer::disabled(), None),
         };
-        let obs = ObsConfig::new(tracer, scale::sample_interval());
-        run_sim_checked(&self.profile, &self.config, &obs, &fault)
+        let obs = ObsConfig::new(tracer.clone(), scale::sample_interval());
+        let result = run_sim_checked(&self.profile, &self.config, &obs, &fault);
+        // A sink that degraded mid-run dropped events: surface it once as
+        // a trace_error record instead of letting the truncation pass
+        // silently.
+        tracer.flush();
+        if let (Some(path), Some(err)) = (trace_path, tracer.sink_error()) {
+            results::log_trace_error(
+                self.profile.name,
+                &self.config.l2_policy.to_string(),
+                &path.display().to_string(),
+                &err,
+            );
+        }
+        result
     }
 
     /// The job's event-trace file name:

@@ -12,12 +12,20 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use emissary_sim::{ConfigError, FaultConfig, SimAbort, SimReport, SimRun};
 
+use crate::chaos::{self, FaultPlan};
 use crate::checkpoint::{self, fingerprint, Campaign};
-use crate::{scale, Job};
+use crate::{results, scale, Job};
+
+/// Deterministic backoff unit between retry attempts: attempt `n` sleeps
+/// `n × 25 ms` before attempt `n + 1`. Long enough to ride out transient
+/// host contention (the usual cause of a retryable timeout), short enough
+/// to be invisible at campaign scale.
+pub const RETRY_BACKOFF_MS: u64 = 25;
 
 /// What happened to one pool job. The pool always returns one outcome per
 /// job, in job order — failures never drop rows or abort the campaign.
@@ -31,6 +39,9 @@ pub enum JobOutcome {
         run: Box<SimRun>,
         /// Replayed from a checkpoint instead of simulated.
         resumed: bool,
+        /// Which attempt completed (1-based; 0 for replays, which did not
+        /// execute at all this process).
+        attempts: u32,
     },
     /// The job's worker caught a panic.
     Panicked {
@@ -40,6 +51,8 @@ pub enum JobOutcome {
         policy: String,
         /// Rendered panic payload.
         message: String,
+        /// Which attempt panicked (1-based).
+        attempts: u32,
     },
     /// The fault detector aborted the run (wall-clock budget, stall
     /// watchdog, or invariant audit).
@@ -50,6 +63,8 @@ pub enum JobOutcome {
         policy: String,
         /// The structured abort, including diagnostics.
         abort: SimAbort,
+        /// Which attempt aborted (1-based).
+        attempts: u32,
     },
     /// Config validation rejected the job before it ran.
     Rejected {
@@ -59,6 +74,15 @@ pub enum JobOutcome {
         policy: String,
         /// Why the configuration is degenerate.
         error: ConfigError,
+    },
+    /// A cooperative shutdown (SIGINT/SIGTERM) stopped scheduling before
+    /// this job started. Never recorded to the checkpoint: the job is
+    /// simply still pending, and `EMISSARY_RESUME=1` runs it next time.
+    Interrupted {
+        /// Benchmark name.
+        benchmark: String,
+        /// L2 policy notation.
+        policy: String,
     },
 }
 
@@ -80,13 +104,14 @@ impl JobOutcome {
     }
 
     /// Machine-readable status ("completed" / "panicked" / the abort kind
-    /// / "rejected").
+    /// / "rejected" / "interrupted").
     pub fn status(&self) -> &'static str {
         match self {
             JobOutcome::Completed { .. } => "completed",
             JobOutcome::Panicked { .. } => "panicked",
             JobOutcome::Aborted { abort, .. } => abort.kind(),
             JobOutcome::Rejected { .. } => "rejected",
+            JobOutcome::Interrupted { .. } => "interrupted",
         }
     }
 
@@ -96,7 +121,8 @@ impl JobOutcome {
             JobOutcome::Completed { run, .. } => &run.report.benchmark,
             JobOutcome::Panicked { benchmark, .. }
             | JobOutcome::Aborted { benchmark, .. }
-            | JobOutcome::Rejected { benchmark, .. } => benchmark,
+            | JobOutcome::Rejected { benchmark, .. }
+            | JobOutcome::Interrupted { benchmark, .. } => benchmark,
         }
     }
 
@@ -106,7 +132,21 @@ impl JobOutcome {
             JobOutcome::Completed { run, .. } => &run.report.policy,
             JobOutcome::Panicked { policy, .. }
             | JobOutcome::Aborted { policy, .. }
-            | JobOutcome::Rejected { policy, .. } => policy,
+            | JobOutcome::Rejected { policy, .. }
+            | JobOutcome::Interrupted { policy, .. } => policy,
+        }
+    }
+
+    /// How many execution attempts this outcome represents (1-based; 0
+    /// for checkpoint replays and interrupted jobs, which never ran, and
+    /// 1 for rejections, which were refused before running).
+    pub fn attempts(&self) -> u32 {
+        match self {
+            JobOutcome::Completed { attempts, .. }
+            | JobOutcome::Panicked { attempts, .. }
+            | JobOutcome::Aborted { attempts, .. } => *attempts,
+            JobOutcome::Rejected { .. } => 1,
+            JobOutcome::Interrupted { .. } => 0,
         }
     }
 
@@ -118,6 +158,9 @@ impl JobOutcome {
             JobOutcome::Panicked { message, .. } => format!("panicked: {message}"),
             JobOutcome::Aborted { abort, .. } => abort.to_string(),
             JobOutcome::Rejected { error, .. } => error.to_string(),
+            JobOutcome::Interrupted { .. } => {
+                "interrupted: cooperative shutdown before the job started".to_string()
+            }
         }
     }
 }
@@ -129,33 +172,47 @@ impl JobOutcome {
 pub struct PoolOptions {
     /// Worker threads (clamped to the job count).
     pub workers: usize,
-    /// Per-job wall-clock budget.
+    /// Per-job wall-clock budget (per *attempt* under retry: each attempt
+    /// gets a fresh deadline).
     pub timeout: Option<Duration>,
     /// Forward-progress watchdog threshold in cycles (`None` disables).
     pub stall_cycles: Option<u64>,
     /// Run the invariant auditor at epoch boundaries.
     pub audit: bool,
+    /// Retry budget for panicked / retryable-aborted jobs: a job runs at
+    /// most `1 + retries` attempts, with deterministic backoff
+    /// ([`RETRY_BACKOFF_MS`]) between them.
+    pub retries: u32,
+    /// Chaos fault plan injecting job panics/stalls ([`FaultPlan::job_fault`]);
+    /// `None` disables job-level injection.
+    pub chaos: Option<Arc<FaultPlan>>,
 }
 
 impl PoolOptions {
     /// Reads `EMISSARY_THREADS`, `EMISSARY_JOB_TIMEOUT_MS`,
-    /// `EMISSARY_STALL_CYCLES`, and `EMISSARY_AUDIT`.
+    /// `EMISSARY_STALL_CYCLES`, `EMISSARY_AUDIT`, `EMISSARY_JOB_RETRIES`,
+    /// and the chaos plan (`EMISSARY_CHAOS_SEED`/`EMISSARY_CHAOS_RATE`).
     pub fn from_env() -> Self {
         Self {
             workers: scale::threads(),
             timeout: scale::job_timeout_ms().map(Duration::from_millis),
             stall_cycles: scale::stall_cycles(),
             audit: scale::audit(),
+            retries: scale::job_retries(),
+            chaos: chaos::plan_from_env(),
         }
     }
 
-    /// Explicit worker count, no budget, default watchdog, no audit.
+    /// Explicit worker count, no budget, default watchdog, no audit, no
+    /// retry, no chaos — the deterministic test/legacy configuration.
     pub fn with_workers(workers: usize) -> Self {
         Self {
             workers,
             timeout: None,
             stall_cycles: Some(emissary_sim::fault::DEFAULT_STALL_CYCLES),
             audit: false,
+            retries: 0,
+            chaos: None,
         }
     }
 
@@ -274,6 +331,12 @@ pub fn run_parallel_outcomes_hooked(
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 loop {
+                    // Cooperative shutdown: stop claiming jobs; everything
+                    // already completed is flushed to the checkpoint, and
+                    // unclaimed jobs surface as `Interrupted` outcomes.
+                    if chaos::shutdown_requested() {
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
@@ -295,12 +358,28 @@ pub fn run_parallel_outcomes_hooked(
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every job produces an outcome"))
+        .enumerate()
+        .map(|(i, s)| {
+            // A slot is empty only when shutdown stopped the workers
+            // before this job was claimed.
+            s.unwrap_or_else(|| JobOutcome::Interrupted {
+                benchmark: jobs[i].profile.name.to_string(),
+                policy: jobs[i].config.l2_policy.to_string(),
+            })
+        })
         .collect()
 }
 
 /// Executes one job under the full isolation stack (checkpoint replay →
-/// validation → catch_unwind + fault detector) and records the outcome.
+/// validation → catch_unwind + fault detector → bounded retry) and
+/// records the outcome.
+///
+/// Panicked and retryable-aborted attempts (see [`SimAbort::retryable`])
+/// are retried up to `opts.retries` times with deterministic backoff;
+/// each failed-but-retried attempt is recorded to the checkpoint and the
+/// results JSONL before the next attempt, so the attempt history survives
+/// even when the job eventually completes. Only the final outcome counts
+/// toward the process-wide simulated/failed counters.
 pub(crate) fn run_one(job: &Job, opts: &PoolOptions, campaign: Option<&Campaign>) -> JobOutcome {
     let fp = fingerprint(job);
     if let Some(run) = campaign.and_then(|c| c.cached(&fp)) {
@@ -308,6 +387,7 @@ pub(crate) fn run_one(job: &Job, opts: &PoolOptions, campaign: Option<&Campaign>
         return JobOutcome::Completed {
             run: Box::new(run),
             resumed: true,
+            attempts: 0,
         };
     }
     let benchmark = job.profile.name.to_string();
@@ -319,24 +399,61 @@ pub(crate) fn run_one(job: &Job, opts: &PoolOptions, campaign: Option<&Campaign>
             error,
         }
     } else {
-        // The job only reads its inputs and builds all simulator state
-        // locally, so resuming the pool after a caught panic cannot
-        // observe broken invariants.
-        match catch_unwind(AssertUnwindSafe(|| job.run_checked(&opts.fault_config()))) {
-            Ok(Ok(run)) => JobOutcome::Completed {
-                run: Box::new(run),
-                resumed: false,
-            },
-            Ok(Err(abort)) => JobOutcome::Aborted {
-                benchmark,
-                policy,
-                abort,
-            },
-            Err(payload) => JobOutcome::Panicked {
-                benchmark,
-                policy,
-                message: panic_message(payload.as_ref()),
-            },
+        let hash = checkpoint::config_hash(job);
+        let max_attempts = opts.retries.saturating_add(1);
+        let mut attempt: u32 = 1;
+        loop {
+            // Chaos injects per (config, attempt): retries of a chaos-hit
+            // job roll a fresh, still-deterministic decision.
+            let mut attempt_job = job.clone();
+            if attempt_job.inject.is_none() {
+                if let Some(plan) = &opts.chaos {
+                    attempt_job.inject = plan.job_fault(hash, attempt);
+                }
+            }
+            // The job only reads its inputs and builds all simulator
+            // state locally, so resuming the pool after a caught panic
+            // cannot observe broken invariants.
+            let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                attempt_job.run_checked(&opts.fault_config())
+            })) {
+                Ok(Ok(run)) => JobOutcome::Completed {
+                    run: Box::new(run),
+                    resumed: false,
+                    attempts: attempt,
+                },
+                Ok(Err(abort)) => JobOutcome::Aborted {
+                    benchmark: benchmark.clone(),
+                    policy: policy.clone(),
+                    abort,
+                    attempts: attempt,
+                },
+                Err(payload) => JobOutcome::Panicked {
+                    benchmark: benchmark.clone(),
+                    policy: policy.clone(),
+                    message: panic_message(payload.as_ref()),
+                    attempts: attempt,
+                },
+            };
+            let retryable = match &outcome {
+                JobOutcome::Panicked { .. } => true,
+                JobOutcome::Aborted { abort, .. } => abort.retryable(),
+                _ => false,
+            };
+            if !retryable || attempt >= max_attempts {
+                break outcome;
+            }
+            results::log_retried_failure(&outcome);
+            if let Some(c) = campaign {
+                c.record(&fp, &outcome);
+            }
+            eprintln!(
+                "pool: {benchmark}/{policy} attempt {attempt} {}; retrying ({}/{max_attempts})",
+                outcome.status(),
+                attempt + 1
+            );
+            std::thread::sleep(Duration::from_millis(u64::from(attempt) * RETRY_BACKOFF_MS));
+            attempt += 1;
         }
     };
     match &outcome {

@@ -34,9 +34,12 @@ use emissary_sim::SimRun;
 use crate::experiments::Experiment;
 use crate::scale;
 
+use crate::chaos::lock_unpoisoned;
+
 static RUN_LOG: Mutex<Vec<SimRun>> = Mutex::new(Vec::new());
 static TRACE_ERRORS: Mutex<Vec<TraceError>> = Mutex::new(Vec::new());
 static FAILURES: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
+static CKPT_ERRORS: Mutex<Vec<CkptError>> = Mutex::new(Vec::new());
 
 /// A failed attempt to open a per-job event-trace sink: the run proceeded
 /// untraced, and the experiment's results file records the degradation.
@@ -52,8 +55,11 @@ pub struct TraceError {
     pub error: String,
 }
 
-/// A job that did not complete (panicked, aborted, or was rejected),
-/// rendered as a `job_failure` record in the experiment's results file.
+/// A job attempt that did not complete (panicked, aborted, rejected, or
+/// interrupted), rendered as a `job_failure` record in the experiment's
+/// results file. With bounded retry active a job can contribute several
+/// records: each retried attempt (with `retried: true` and its attempt
+/// number) plus the final one — the full attempt history, in order.
 #[derive(Debug, Clone)]
 pub struct JobFailure {
     /// Benchmark name.
@@ -61,10 +67,28 @@ pub struct JobFailure {
     /// L2 policy notation.
     pub policy: String,
     /// Machine-readable status (`panicked`/`timeout`/`stalled`/`audit`/
-    /// `rejected`).
+    /// `rejected`/`interrupted`).
     pub status: String,
     /// Human-readable failure description.
     pub detail: String,
+    /// Which attempt failed (1-based).
+    pub attempt: u32,
+    /// Whether the pool retried the job after this failure.
+    pub retried: bool,
+}
+
+/// A checkpoint I/O failure the campaign degraded around (memo-only
+/// mode, quarantine trouble, failed rotation), rendered as a
+/// `ckpt_error` record in the experiment's results file.
+#[derive(Debug, Clone)]
+pub struct CkptError {
+    /// The checkpoint (or quarantine) path involved.
+    pub path: String,
+    /// The failed operation (`mkdir`/`read`/`open`/`append`/`rotate`/
+    /// `quarantine`).
+    pub op: String,
+    /// The I/O error message.
+    pub error: String,
 }
 
 /// One end-to-end throughput measurement — a full simulator run timed on
@@ -251,20 +275,27 @@ pub fn load_campaign_other_labels(path: &str, label: &str) -> Vec<CampaignEntry>
 
 /// Appends one run to the process-global run log.
 pub fn log_run(run: &SimRun) {
-    RUN_LOG.lock().expect("run log poisoned").push(run.clone());
+    lock_unpoisoned(&RUN_LOG).push(run.clone());
 }
 
-/// Records a failed trace-sink open in the process-global log.
+/// Records a failed trace-sink open (or a sink that degraded mid-run) in
+/// the process-global log.
 pub fn log_trace_error(benchmark: &str, policy: &str, path: &str, error: &str) {
-    TRACE_ERRORS
-        .lock()
-        .expect("trace error log poisoned")
-        .push(TraceError {
-            benchmark: benchmark.to_string(),
-            policy: policy.to_string(),
-            path: path.to_string(),
-            error: error.to_string(),
-        });
+    lock_unpoisoned(&TRACE_ERRORS).push(TraceError {
+        benchmark: benchmark.to_string(),
+        policy: policy.to_string(),
+        path: path.to_string(),
+        error: error.to_string(),
+    });
+}
+
+/// Records a checkpoint I/O failure in the process-global log.
+pub fn log_ckpt_error(path: &Path, op: &str, error: &io::Error) {
+    lock_unpoisoned(&CKPT_ERRORS).push(CkptError {
+        path: path.display().to_string(),
+        op: op.to_string(),
+        error: error.to_string(),
+    });
 }
 
 impl JobFailure {
@@ -279,6 +310,8 @@ impl JobFailure {
             policy: outcome.policy().to_string(),
             status: outcome.status().to_string(),
             detail: outcome.describe(),
+            attempt: outcome.attempts(),
+            retried: false,
         })
     }
 }
@@ -287,31 +320,43 @@ impl JobFailure {
 /// outcomes are ignored).
 pub fn log_failure(outcome: &crate::pool::JobOutcome) {
     if let Some(f) = JobFailure::from_outcome(outcome) {
-        FAILURES.lock().expect("failure log poisoned").push(f);
+        lock_unpoisoned(&FAILURES).push(f);
+    }
+}
+
+/// Records a failed attempt that the pool is about to retry, so the
+/// attempt history stays visible in the results JSONL even when the job
+/// eventually completes.
+pub fn log_retried_failure(outcome: &crate::pool::JobOutcome) {
+    if let Some(mut f) = JobFailure::from_outcome(outcome) {
+        f.retried = true;
+        lock_unpoisoned(&FAILURES).push(f);
     }
 }
 
 /// Appends runs to the process-global run log (in the given order).
 pub fn log_runs(runs: &[SimRun]) {
-    RUN_LOG
-        .lock()
-        .expect("run log poisoned")
-        .extend_from_slice(runs);
+    lock_unpoisoned(&RUN_LOG).extend_from_slice(runs);
 }
 
 /// Drains the process-global run log.
 pub fn take_logged_runs() -> Vec<SimRun> {
-    std::mem::take(&mut *RUN_LOG.lock().expect("run log poisoned"))
+    std::mem::take(&mut *lock_unpoisoned(&RUN_LOG))
 }
 
 /// Drains the process-global trace-error log.
 pub fn take_trace_errors() -> Vec<TraceError> {
-    std::mem::take(&mut *TRACE_ERRORS.lock().expect("trace error log poisoned"))
+    std::mem::take(&mut *lock_unpoisoned(&TRACE_ERRORS))
 }
 
 /// Drains the process-global job-failure log.
 pub fn take_failures() -> Vec<JobFailure> {
-    std::mem::take(&mut *FAILURES.lock().expect("failure log poisoned"))
+    std::mem::take(&mut *lock_unpoisoned(&FAILURES))
+}
+
+/// Drains the process-global checkpoint-error log.
+pub fn take_ckpt_errors() -> Vec<CkptError> {
+    std::mem::take(&mut *lock_unpoisoned(&CKPT_ERRORS))
 }
 
 /// Renders the host-side throughput footer for a set of runs: aggregate
@@ -343,7 +388,7 @@ pub fn throughput_footer(runs: &[SimRun]) -> Option<String> {
 /// output, so byte-comparing it across runs stays a valid check.
 pub fn emit(name: &str, exp: &Experiment) {
     print!("{}", exp.render());
-    if let Some(footer) = throughput_footer(&RUN_LOG.lock().expect("run log poisoned")) {
+    if let Some(footer) = throughput_footer(&lock_unpoisoned(&RUN_LOG)) {
         eprintln!("{footer}");
     }
     match write_experiment(name, exp) {
@@ -360,8 +405,17 @@ pub fn write_experiment(name: &str, exp: &Experiment) -> io::Result<PathBuf> {
     let path = dir.join(format!("{name}.jsonl"));
     let trace_errors = take_trace_errors();
     let failures = take_failures();
+    let ckpt_errors = take_ckpt_errors();
     let mut out = BufWriter::new(fs::File::create(&path)?);
-    write_records(&mut out, name, exp, &runs, &trace_errors, &failures)?;
+    write_records(
+        &mut out,
+        name,
+        exp,
+        &runs,
+        &trace_errors,
+        &failures,
+        &ckpt_errors,
+    )?;
     out.flush()?;
     Ok(path)
 }
@@ -375,6 +429,7 @@ pub fn write_records(
     runs: &[SimRun],
     trace_errors: &[TraceError],
     failures: &[JobFailure],
+    ckpt_errors: &[CkptError],
 ) -> io::Result<()> {
     let mut meta = JsonObject::new();
     meta.field_str("record", "meta")
@@ -417,7 +472,17 @@ pub fn write_records(
             .field_str("benchmark", &f.benchmark)
             .field_str("policy", &f.policy)
             .field_str("status", &f.status)
-            .field_str("detail", &f.detail);
+            .field_str("detail", &f.detail)
+            .field_u64("attempt", u64::from(f.attempt))
+            .field_bool("retried", f.retried);
+        writeln!(out, "{}", obj.finish())?;
+    }
+    for ce in ckpt_errors {
+        let mut obj = JsonObject::new();
+        obj.field_str("record", "ckpt_error")
+            .field_str("path", &ce.path)
+            .field_str("op", &ce.op)
+            .field_str("error", &ce.error);
         writeln!(out, "{}", obj.finish())?;
     }
     for (caption, table) in &exp.tables {
@@ -474,6 +539,7 @@ mod tests {
             std::slice::from_ref(&run),
             &[],
             &[],
+            &[],
         )
         .unwrap();
         let text = String::from_utf8(buf).unwrap();
@@ -508,17 +574,38 @@ mod tests {
             policy: "P(8):S".into(),
             status: "panicked".into(),
             detail: "panicked: injected panic".into(),
+            attempt: 2,
+            retried: false,
+        }];
+        let ckpt_errors = vec![CkptError {
+            path: "results/campaign.ckpt.jsonl".into(),
+            op: "append".into(),
+            error: "disk full".into(),
         }];
         let mut buf = Vec::new();
-        write_records(&mut buf, "fail_exp", &exp, &[], &trace_errors, &failures).unwrap();
+        write_records(
+            &mut buf,
+            "fail_exp",
+            &exp,
+            &[],
+            &trace_errors,
+            &failures,
+            &ckpt_errors,
+        )
+        .unwrap();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert!(lines[1].contains("\"record\":\"trace_error\""));
         assert!(lines[1].contains("\"error\":\"permission denied\""));
         assert!(lines[2].contains("\"record\":\"job_failure\""));
         assert!(lines[2].contains("\"status\":\"panicked\""));
         assert!(lines[2].contains("\"benchmark\":\"verilator\""));
+        assert!(lines[2].contains("\"attempt\":2"));
+        assert!(lines[2].contains("\"retried\":false"));
+        assert!(lines[3].contains("\"record\":\"ckpt_error\""));
+        assert!(lines[3].contains("\"op\":\"append\""));
+        assert!(lines[3].contains("\"error\":\"disk full\""));
     }
 
     #[test]

@@ -112,6 +112,17 @@ pub fn progress() -> bool {
         .unwrap_or(true)
 }
 
+/// Bounded retry budget for `Panicked`/retryable-`Aborted` job outcomes
+/// (`EMISSARY_JOB_RETRIES`, default 1; `0` disables retry). A job is
+/// attempted at most `1 + retries` times; each failed attempt is recorded
+/// as a `job_failure` JSONL record carrying its attempt number.
+pub fn job_retries() -> u32 {
+    env::var("EMISSARY_JOB_RETRIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// Fault-injection drill (`EMISSARY_INJECT_PANIC=<benchmark>/<policy>`):
 /// the matching job panics instead of running, exercising the harness's
 /// failure path end to end.

@@ -1,0 +1,315 @@
+//! Chaos-hardening integration tests: crash-safe checkpoint salvage
+//! (truncation at *any* byte offset), deterministic fault injection,
+//! bounded retry recovery, memo-only degradation, and poison recovery.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use emissary_bench::chaos::{self, CkptIo, FaultPlan, RealIo};
+use emissary_bench::checkpoint::{config_hash, fingerprint, Campaign};
+use emissary_bench::pool::{run_parallel_outcomes_with, JobOutcome, PoolOptions};
+use emissary_bench::{FaultInjection, Job};
+use emissary_core::spec::PolicySpec;
+use emissary_sim::SimConfig;
+use emissary_workloads::Profile;
+use proptest::prelude::*;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("emissary_chaos_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+fn jobs() -> Vec<Job> {
+    let cfg = SimConfig {
+        warmup_instrs: 1_000,
+        measure_instrs: 5_000,
+        ..SimConfig::default()
+    };
+    let profile = Profile::by_name("xapian").unwrap();
+    vec![
+        Job::new(profile.clone(), &cfg, PolicySpec::BASELINE),
+        Job::new(profile.clone(), &cfg, "P(8):S&E".parse().unwrap()),
+        Job::new(profile, &cfg, PolicySpec::PREFERRED),
+    ]
+}
+
+/// A healthy three-job checkpoint file's bytes, built once and shared by
+/// every truncation case (resume itself is cheap; the simulations are
+/// not).
+fn golden_checkpoint() -> &'static str {
+    static CKPT: OnceLock<String> = OnceLock::new();
+    CKPT.get_or_init(|| {
+        let dir = tmpdir("golden");
+        let c = Campaign::begin_with("camp", &dir, false);
+        let outcomes = run_parallel_outcomes_with(&jobs(), &PoolOptions::with_workers(2), Some(&c));
+        assert!(outcomes.iter().all(|o| o.status() == "completed"));
+        let text = std::fs::read_to_string(c.path()).expect("checkpoint written");
+        assert_eq!(text.lines().count(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+        text
+    })
+}
+
+/// What a resume over `prefix` must reconstruct: full surviving lines are
+/// replayable records; a non-empty trailing fragment (no newline) is
+/// quarantined unless the truncation landed exactly at a line boundary.
+fn expected_salvage(prefix: &str) -> (usize, u64) {
+    let (complete, fragment) = match prefix.rfind('\n') {
+        Some(i) => (&prefix[..i + 1], &prefix[i + 1..]),
+        None => ("", prefix),
+    };
+    let good = complete.lines().filter(|l| !l.trim().is_empty()).count();
+    let quarantined = u64::from(!fragment.is_empty());
+    (good, quarantined)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite 4: truncating `campaign.ckpt.jsonl` at ANY byte offset
+    /// still resumes — every record that fully survived is replayed, the
+    /// torn remainder is quarantined, and the rewritten checkpoint is
+    /// clean (a second resume finds nothing left to quarantine).
+    #[test]
+    fn truncated_checkpoint_resumes_at_any_offset(cut in 0usize..golden_checkpoint().len() + 1) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let text = golden_checkpoint();
+        let prefix = &text[..cut];
+        let (expect_good, expect_quarantined) = expected_salvage(prefix);
+
+        let dir = tmpdir(&format!("trunc{}", CASE.fetch_add(1, Ordering::Relaxed)));
+        let path = dir.join("camp.ckpt.jsonl");
+        std::fs::write(&path, prefix).unwrap();
+
+        let c = Campaign::begin_with_io("camp", &dir, true, Box::new(RealIo));
+        prop_assert_eq!(c.resumable(), expect_good, "cut at byte {}", cut);
+        prop_assert_eq!(c.quarantined(), expect_quarantined, "cut at byte {}", cut);
+        if expect_quarantined > 0 {
+            let q = std::fs::read_to_string(c.quarantine_path()).unwrap();
+            prop_assert_eq!(q.lines().count() as u64, expect_quarantined);
+            // The quarantined line is the torn fragment, verbatim.
+            prop_assert_eq!(q.lines().next().unwrap(), &prefix[prefix.rfind('\n').map_or(0, |i| i + 1)..]);
+        }
+        drop(c);
+
+        // The salvage rewrote the checkpoint to only the good lines, so a
+        // second resume replays the same records and quarantines nothing.
+        let c2 = Campaign::begin_with_io("camp", &dir, true, Box::new(RealIo));
+        prop_assert_eq!(c2.resumable(), expect_good);
+        prop_assert_eq!(c2.quarantined(), 0, "salvage must leave a clean segment");
+        drop(c2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn chaos_at_rate_zero_is_byte_identical_to_no_chaos() {
+    let dir_plain = tmpdir("ident_plain");
+    let dir_chaos = tmpdir("ident_chaos");
+    let opts = PoolOptions::with_workers(1);
+
+    let c_plain = Campaign::begin_with_io("camp", &dir_plain, false, Box::new(RealIo));
+    let out_plain = run_parallel_outcomes_with(&jobs(), &opts, Some(&c_plain));
+
+    let plan = Arc::new(FaultPlan::new(42, 0.0));
+    let c_chaos = Campaign::begin_with_io(
+        "camp",
+        &dir_chaos,
+        false,
+        Box::new(chaos::ChaosIo::new(Arc::clone(&plan))),
+    );
+    let chaos_opts = PoolOptions {
+        retries: 1,
+        chaos: Some(Arc::clone(&plan)),
+        ..PoolOptions::with_workers(1)
+    };
+    let out_chaos = run_parallel_outcomes_with(&jobs(), &chaos_opts, Some(&c_chaos));
+
+    let reports = |outs: &[JobOutcome]| -> Vec<String> {
+        outs.iter()
+            .map(|o| o.run().expect("completed").report.to_json())
+            .collect()
+    };
+    assert_eq!(reports(&out_plain), reports(&out_chaos));
+    assert_eq!(plan.injected(), 0, "rate 0 must never fire");
+    // Checkpoint bytes match up to `host_seconds`, the one field that is
+    // wall-clock (not simulation) time and so differs run to run.
+    let sans_timing = |path: &std::path::Path| -> String {
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .map(|l| match l.find(",\"host_seconds\":") {
+                Some(i) => format!("{}}}", &l[..i]),
+                None => l.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        sans_timing(c_plain.path()),
+        sans_timing(c_chaos.path()),
+        "checkpoint bytes must match with chaos enabled at rate 0"
+    );
+    drop((c_plain, c_chaos));
+    let _ = std::fs::remove_dir_all(&dir_plain);
+    let _ = std::fs::remove_dir_all(&dir_chaos);
+}
+
+#[test]
+fn injected_panic_is_retried_to_completion() {
+    let job = jobs().remove(0);
+    let hash = config_hash(&job);
+    // Find a seed whose plan panics the job's first attempt but leaves
+    // the second attempt clean — the retry must then succeed.
+    let seed = (0..100_000u64)
+        .find(|&s| {
+            let p = FaultPlan::new(s, 0.5);
+            p.job_fault(hash, 1) == Some(FaultInjection::Panic) && p.job_fault(hash, 2).is_none()
+        })
+        .expect("some seed injects exactly one first-attempt panic");
+    let plan = Arc::new(FaultPlan::new(seed, 0.5));
+
+    let dir = tmpdir("retry");
+    let c = Campaign::begin_with_io("camp", &dir, false, Box::new(RealIo));
+    let opts = PoolOptions {
+        retries: 1,
+        chaos: Some(Arc::clone(&plan)),
+        ..PoolOptions::with_workers(1)
+    };
+    let outcomes = run_parallel_outcomes_with(std::slice::from_ref(&job), &opts, Some(&c));
+    match &outcomes[0] {
+        JobOutcome::Completed {
+            attempts, resumed, ..
+        } => {
+            assert_eq!(*attempts, 2, "first attempt panicked, second completed");
+            assert!(!resumed);
+        }
+        other => panic!("expected completion after retry, got {}", other.status()),
+    }
+
+    // Both attempts are on the record: the panic with attempt 1, then the
+    // completion with attempt 2 (last-wins on resume).
+    let text = std::fs::read_to_string(c.path()).unwrap();
+    let fp = fingerprint(&job);
+    assert!(text.contains(&format!("\"fingerprint\":\"{fp}\"")));
+    assert!(
+        text.lines()
+            .any(|l| l.contains("\"status\":\"panicked\"") && l.contains("\"attempts\":1")),
+        "intermediate failure must be recorded: {text}"
+    );
+    assert!(
+        text.lines()
+            .any(|l| l.contains("\"status\":\"completed\"") && l.contains("\"attempts\":2")),
+        "final completion must be recorded: {text}"
+    );
+    drop(c);
+
+    // A resume replays the completed record despite the earlier failure
+    // line for the same fingerprint.
+    let c2 = Campaign::begin_with_io("camp", &dir, true, Box::new(RealIo));
+    assert_eq!(c2.resumable(), 1);
+    assert_eq!(c2.quarantined(), 0);
+    drop(c2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persistent_injection_exhausts_the_retry_budget() {
+    let mut job = jobs().remove(0);
+    job.inject = Some(FaultInjection::Panic); // every attempt panics
+    let opts = PoolOptions {
+        retries: 2,
+        ..PoolOptions::with_workers(1)
+    };
+    let outcomes = run_parallel_outcomes_with(std::slice::from_ref(&job), &opts, None);
+    match &outcomes[0] {
+        JobOutcome::Panicked { attempts, .. } => {
+            assert_eq!(*attempts, 3, "1 + retries attempts, then give up");
+        }
+        other => panic!("expected exhausted panic, got {}", other.status()),
+    }
+}
+
+/// A [`CkptIo`] whose writer can never open — the full-disk / read-only
+/// filesystem case.
+#[derive(Debug)]
+struct NoWriterIo;
+
+impl CkptIo for NoWriterIo {
+    fn create_dir_all(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        RealIo.create_dir_all(dir)
+    }
+    fn read_to_string(&self, path: &std::path::Path) -> std::io::Result<String> {
+        RealIo.read_to_string(path)
+    }
+    fn open_writer(&self, _: &std::path::Path, _: bool) -> std::io::Result<std::fs::File> {
+        Err(std::io::Error::other("test: no writer"))
+    }
+    fn append_line(&self, w: &mut dyn std::io::Write, line: &str) -> std::io::Result<()> {
+        RealIo.append_line(w, line)
+    }
+    fn replace_file(&self, path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+        RealIo.replace_file(path, contents)
+    }
+}
+
+#[test]
+fn unopenable_checkpoint_degrades_to_memo_only() {
+    let dir = tmpdir("memo_only");
+    let c = Campaign::begin_with_io("camp", &dir, false, Box::new(NoWriterIo));
+    assert!(!c.persistent(), "no writer means memo-only mode");
+
+    // The in-process memo still dedups: jobs complete and replay.
+    let opts = PoolOptions::with_workers(1);
+    let job = &jobs()[..1];
+    let first = run_parallel_outcomes_with(job, &opts, Some(&c));
+    assert_eq!(first[0].status(), "completed");
+    let again = run_parallel_outcomes_with(job, &opts, Some(&c));
+    assert!(
+        matches!(&again[0], JobOutcome::Completed { resumed: true, .. }),
+        "memo replay must survive the missing writer"
+    );
+    assert!(
+        !c.path().exists(),
+        "memo-only mode must not create the checkpoint file"
+    );
+    drop(c);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poisoned_locks_recover() {
+    // Satellite 3 regression: a panic while holding a campaign-stack
+    // mutex must not wedge later users.
+    let m = Arc::new(Mutex::new(vec![1u32]));
+    let m2 = Arc::clone(&m);
+    let _ = std::thread::spawn(move || {
+        let _guard = m2.lock().unwrap();
+        panic!("poison the lock");
+    })
+    .join();
+    assert!(m.is_poisoned());
+    assert_eq!(*chaos::lock_unpoisoned(&m), vec![1u32]);
+
+    // End to end: a panicking job (which poisons shared pool state in the
+    // worst case) leaves the campaign fully usable — later jobs simulate,
+    // memoize, and persist.
+    let dir = tmpdir("poison");
+    let c = Campaign::begin_with_io("camp", &dir, false, Box::new(RealIo));
+    let mut broken = jobs();
+    broken[0].inject = Some(FaultInjection::Panic);
+    let opts = PoolOptions::with_workers(2);
+    let outcomes = run_parallel_outcomes_with(&broken, &opts, Some(&c));
+    assert_eq!(outcomes[0].status(), "panicked");
+    assert_eq!(outcomes[1].status(), "completed");
+    assert_eq!(outcomes[2].status(), "completed");
+    assert_eq!(c.memoized(), 2);
+    assert!(c.persistent());
+    let text = std::fs::read_to_string(c.path()).unwrap();
+    assert_eq!(text.lines().count(), 3, "all outcomes recorded post-panic");
+    drop(c);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,84 @@
+//! Cooperative-shutdown integration test, isolated in its own test
+//! binary: the shutdown flag is process-global, so sharing a process
+//! with other pool tests would interrupt *their* jobs too.
+
+use std::path::PathBuf;
+
+use emissary_bench::chaos;
+use emissary_bench::checkpoint::Campaign;
+use emissary_bench::pool::{run_parallel_outcomes_with, JobOutcome, PoolOptions};
+use emissary_bench::Job;
+use emissary_core::spec::PolicySpec;
+use emissary_sim::SimConfig;
+use emissary_workloads::Profile;
+
+fn jobs() -> Vec<Job> {
+    let cfg = SimConfig {
+        warmup_instrs: 1_000,
+        measure_instrs: 5_000,
+        ..SimConfig::default()
+    };
+    let profile = Profile::by_name("xapian").unwrap();
+    vec![
+        Job::new(profile.clone(), &cfg, PolicySpec::BASELINE),
+        Job::new(profile.clone(), &cfg, "P(8):S&E".parse().unwrap()),
+        Job::new(profile, &cfg, PolicySpec::PREFERRED),
+    ]
+}
+
+#[test]
+fn shutdown_stops_scheduling_and_resume_finishes_the_campaign() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("emissary_interrupt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let opts = PoolOptions::with_workers(1);
+    let all = jobs();
+
+    // Phase 1: one job completes and lands in the checkpoint.
+    let c1 = Campaign::begin_with("camp", &dir, false);
+    let done = run_parallel_outcomes_with(&all[..1], &opts, Some(&c1));
+    assert_eq!(done[0].status(), "completed");
+    drop(c1);
+
+    // Phase 2: a shutdown request arrives before the next pool run — no
+    // job is claimed (not even memo replays), and nothing new is written
+    // to the checkpoint, so the interrupted jobs stay pending.
+    chaos::request_shutdown();
+    let c2 = Campaign::begin_with("camp", &dir, true);
+    assert_eq!(c2.resumable(), 1);
+    let interrupted = run_parallel_outcomes_with(&all, &opts, Some(&c2));
+    assert!(
+        interrupted
+            .iter()
+            .all(|o| matches!(o, JobOutcome::Interrupted { .. })),
+        "flag raised before the run interrupts every job"
+    );
+    assert!(interrupted.iter().all(|o| o.status() == "interrupted"));
+    assert!(interrupted.iter().all(|o| o.attempts() == 0));
+    drop(c2);
+    let text = std::fs::read_to_string(dir.join("camp.ckpt.jsonl")).unwrap();
+    assert_eq!(
+        text.lines().count(),
+        1,
+        "interrupted jobs are never recorded: {text}"
+    );
+    assert!(!text.contains("interrupted"));
+
+    // Phase 3: the flag clears (next process), resume replays the
+    // completed job and simulates exactly the interrupted remainder.
+    chaos::clear_shutdown();
+    let c3 = Campaign::begin_with("camp", &dir, true);
+    assert_eq!(c3.resumable(), 1);
+    let resumed = run_parallel_outcomes_with(&all, &opts, Some(&c3));
+    let flags: Vec<bool> = resumed
+        .iter()
+        .map(|o| match o {
+            JobOutcome::Completed { resumed, .. } => *resumed,
+            other => panic!("unexpected outcome {}", other.status()),
+        })
+        .collect();
+    assert_eq!(flags, [true, false, false]);
+    drop(c3);
+    let _ = std::fs::remove_dir_all(&dir);
+}

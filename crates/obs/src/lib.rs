@@ -30,7 +30,7 @@ pub mod tracer;
 
 pub use event::{Level, TraceEvent};
 pub use json::JsonObject;
-pub use parse::{JsonParseError, JsonValue};
+pub use parse::{jsonl_lines, JsonParseError, JsonValue, JsonlLine};
 pub use sample::{interval_chunks, IntervalSample, SampleCounters, SampleSeries};
 pub use sink::{JsonlSink, NullSink, RingBuffer, RingSink, TraceSink};
 pub use tracer::Tracer;

@@ -95,6 +95,35 @@ impl JsonValue {
     }
 }
 
+/// One physical line of a JSONL document, classified by [`jsonl_lines`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonlLine<'a> {
+    /// 1-based line number in the source.
+    pub number: usize,
+    /// The raw line text, exactly as found (no newline).
+    pub raw: &'a str,
+    /// The parse outcome: a complete document, or why the line is
+    /// unusable (torn tail, garbage, trailing junk).
+    pub parsed: Result<JsonValue, JsonParseError>,
+}
+
+/// Splits a JSONL document into lines and parses each one
+/// independently, so a reader can replay the complete records and
+/// quarantine the rest instead of aborting at the first bad byte — the
+/// recovery contract for checkpoint files that may end in a torn line
+/// after a crash or power loss. Blank/whitespace-only lines are skipped
+/// (they carry no record and need no quarantine).
+pub fn jsonl_lines(src: &str) -> impl Iterator<Item = JsonlLine<'_>> {
+    src.lines()
+        .enumerate()
+        .filter(|(_, raw)| !raw.trim().is_empty())
+        .map(|(i, raw)| JsonlLine {
+            number: i + 1,
+            raw,
+            parsed: JsonValue::parse(raw),
+        })
+}
+
 /// A parse failure with its byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonParseError {
@@ -444,6 +473,25 @@ mod tests {
                 "accepted malformed: {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn jsonl_lines_separates_good_bad_and_blank() {
+        let src = "{\"a\":1}\n\n   \n{\"b\":\ngarbage\n{\"c\":3}";
+        let lines: Vec<_> = jsonl_lines(src).collect();
+        // Blank and whitespace-only lines are dropped entirely.
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].number, 1);
+        assert!(lines[0].parsed.is_ok());
+        // A torn object and a garbage word both classify as errors but
+        // keep their raw text for quarantine.
+        assert_eq!(lines[1].raw, "{\"b\":");
+        assert!(lines[1].parsed.is_err());
+        assert_eq!(lines[2].raw, "garbage");
+        assert!(lines[2].parsed.is_err());
+        // The final line parses even without a trailing newline.
+        assert_eq!(lines[3].number, 6);
+        assert!(lines[3].parsed.is_ok());
     }
 
     #[test]

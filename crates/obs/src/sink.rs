@@ -18,6 +18,14 @@ pub trait TraceSink: Send {
 
     /// Flushes any buffered output (default: nothing to flush).
     fn flush(&mut self) {}
+
+    /// The first I/O error this sink hit, if any (default: never errors).
+    /// A sink that reports an error here has degraded — events recorded
+    /// after the error were dropped — and the owner should surface the
+    /// degradation (the bench harness emits a `trace_error` record).
+    fn last_error(&self) -> Option<&io::Error> {
+        None
+    }
 }
 
 /// Discards every event. The default when tracing is disabled — the
@@ -92,7 +100,13 @@ impl RingSink {
 
 impl TraceSink for RingSink {
     fn record(&mut self, event: TraceEvent) {
-        let mut buf = self.buffer.lock().expect("ring buffer poisoned");
+        // Recover a poisoned lock: the buffer is a plain deque, valid
+        // after any interrupted mutation, and one panicked user must not
+        // wedge every other handle.
+        let mut buf = self
+            .buffer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         buf.total += 1;
         if buf.capacity == 0 {
             return;
@@ -105,9 +119,17 @@ impl TraceSink for RingSink {
 }
 
 /// Streams each event as one JSON line to a writer.
+///
+/// I/O errors must not kill the simulation, but they must not be silent
+/// either: the first error **downgrades the sink to a null writer** (the
+/// writer is dropped, every later event is a no-op) and is retained for
+/// [`JsonlSink::last_error`] / [`TraceSink::last_error`], so the owner
+/// can report the trace as truncated exactly once instead of the old
+/// behaviour of wordlessly dropping every subsequent line.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write + Send> {
-    out: W,
+    out: Option<W>,
+    error: Option<io::Error>,
 }
 
 impl JsonlSink<BufWriter<File>> {
@@ -120,25 +142,53 @@ impl JsonlSink<BufWriter<File>> {
 impl<W: Write + Send> JsonlSink<W> {
     /// Wraps an arbitrary writer.
     pub fn new(out: W) -> Self {
-        Self { out }
+        Self {
+            out: Some(out),
+            error: None,
+        }
+    }
+
+    /// The first I/O error, if the sink has degraded to a null writer.
+    pub fn last_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    fn degrade(&mut self, e: io::Error) {
+        eprintln!("trace: write failed, dropping remaining events: {e}");
+        self.error = Some(e);
+        self.out = None;
     }
 }
 
 impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn record(&mut self, event: TraceEvent) {
-        // I/O errors while tracing must not kill the simulation; drop the
-        // line instead.
-        let _ = writeln!(self.out, "{}", event.to_json());
+        let Some(out) = self.out.as_mut() else {
+            return; // degraded: null writer
+        };
+        if let Err(e) = writeln!(out, "{}", event.to_json()) {
+            self.degrade(e);
+        }
     }
 
     fn flush(&mut self) {
-        let _ = self.out.flush();
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
+        if let Err(e) = out.flush() {
+            self.degrade(e);
+        }
+    }
+
+    fn last_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
     }
 }
 
 impl<W: Write + Send> Drop for JsonlSink<W> {
     fn drop(&mut self) {
-        let _ = self.out.flush();
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -185,7 +235,7 @@ mod tests {
             source: Level::Memory,
         });
         sink.flush();
-        let text = String::from_utf8(sink.out.clone()).unwrap();
+        let text = String::from_utf8(sink.out.clone().unwrap()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("{\"event\":\"l2_bypass\""));
@@ -193,5 +243,56 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+        assert!(sink.last_error().is_none());
+    }
+
+    /// A writer that accepts `good` bytes then fails forever.
+    struct FlakyWriter {
+        written: Vec<u8>,
+        good: usize,
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.written.len() >= self.good {
+                return Err(io::Error::other("disk gone"));
+            }
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn first_write_error_downgrades_to_null_writer() {
+        let mut sink = JsonlSink::new(FlakyWriter {
+            written: Vec::new(),
+            good: 1,
+        });
+        sink.record(ev(1)); // succeeds
+        sink.record(ev(2)); // fails: degrade
+        let err = sink.last_error().expect("error retained");
+        assert!(err.to_string().contains("disk gone"));
+        let writes_at_degrade = sink.out.is_none();
+        assert!(writes_at_degrade, "writer dropped on first error");
+        // Subsequent records and flushes are no-ops, not further errors.
+        sink.record(ev(3));
+        sink.flush();
+        assert!(sink.last_error().unwrap().to_string().contains("disk gone"));
+        // Trait-object view reports the same degradation.
+        let dyn_sink: &dyn TraceSink = &sink;
+        assert!(dyn_sink.last_error().is_some());
+    }
+
+    #[test]
+    fn healthy_sinks_report_no_error_via_the_trait() {
+        let null: &dyn TraceSink = &NullSink;
+        assert!(null.last_error().is_none());
+        let ring = RingSink::new(1);
+        let dyn_ring: &dyn TraceSink = &ring;
+        assert!(dyn_ring.last_error().is_none());
     }
 }

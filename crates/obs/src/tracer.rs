@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::event::TraceEvent;
 use crate::sink::TraceSink;
@@ -75,10 +75,14 @@ impl Tracer {
     pub fn emit_with(&self, make: impl FnOnce(u64) -> TraceEvent) {
         if let Some(inner) = &self.inner {
             let event = make(inner.now.load(Ordering::Relaxed));
+            // Recover a poisoned lock rather than cascading the panic: a
+            // sink is valid after any interrupted `record` (the worst
+            // case is one lost event), and trace plumbing must never
+            // turn one panicked job into a campaign abort.
             inner
                 .sink
                 .lock()
-                .expect("trace sink poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .record(event);
         }
     }
@@ -86,8 +90,25 @@ impl Tracer {
     /// Flushes the sink (no-op when disabled).
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
-            inner.sink.lock().expect("trace sink poisoned").flush();
+            inner
+                .sink
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .flush();
         }
+    }
+
+    /// The sink's first I/O error, if it has degraded (`None` when
+    /// disabled or healthy). Rendered to a string because the error
+    /// lives behind the sink mutex and cannot be borrowed out.
+    pub fn sink_error(&self) -> Option<String> {
+        let inner = self.inner.as_ref()?;
+        inner
+            .sink
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .last_error()
+            .map(|e| e.to_string())
     }
 }
 
@@ -133,6 +154,14 @@ mod tests {
         let buf = buffer.lock().unwrap();
         let cycles: Vec<u64> = buf.events().map(|e| e.cycle()).collect();
         assert_eq!(cycles, vec![7, 8]);
+    }
+
+    #[test]
+    fn sink_error_is_none_when_disabled_or_healthy() {
+        assert_eq!(Tracer::disabled().sink_error(), None);
+        let tracer = Tracer::new(RingSink::new(4));
+        tracer.emit_with(|cycle| TraceEvent::L2Bypass { cycle, line: 1 });
+        assert_eq!(tracer.sink_error(), None);
     }
 
     #[test]

@@ -147,6 +147,15 @@ impl SimAbort {
             SimAbort::AuditFailed { .. } => "audit",
         }
     }
+
+    /// Whether retrying the job could plausibly change the outcome.
+    /// Timeouts depend on host load and stalls can be injected
+    /// (chaos/watchdog-threshold) artifacts, so both are worth one more
+    /// attempt; an audit failure is a deterministic property of the
+    /// simulated state and will reproduce exactly.
+    pub fn retryable(&self) -> bool {
+        !matches!(self, SimAbort::AuditFailed { .. })
+    }
 }
 
 impl std::fmt::Display for SimAbort {
@@ -231,5 +240,10 @@ mod tests {
         };
         assert_eq!(a.kind(), "audit");
         assert!(a.to_string().contains("2 violations"));
+        // Host-load and injection artifacts retry; deterministic
+        // invariant violations do not.
+        assert!(t.retryable());
+        assert!(s.retryable());
+        assert!(!a.retryable());
     }
 }
