@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use emissary_bench::campaign::CostModel;
 use emissary_bench::results::{load_campaign_other_labels, write_campaign_file, CampaignEntry};
-use emissary_bench::{campaign, chaos, checkpoint, experiments, scale};
+use emissary_bench::{campaign, chaos, checkpoint, experiments, metrics, scale};
 
 /// Reports progress so far and exits with the conventional SIGINT code.
 /// Completed jobs are already flushed to the checkpoint, so rerunning
@@ -45,6 +45,12 @@ fn main() {
         if sequential { "sequential" } else { "campaign" }
     );
     let start = Instant::now();
+    if metrics::start_periodic_dump() {
+        eprintln!(
+            "metrics: periodic dump to {} enabled",
+            metrics::default_prom_path().display()
+        );
+    }
     let plan = experiments::campaign_jobs(&cfg);
     let requested = plan.len();
     let unique = campaign::dedup_jobs(plan.clone()).len();
@@ -135,11 +141,22 @@ fn main() {
             .map(|c| (c.resumable() as u64, c.quarantined()))
             .unwrap_or((0, 0))
     };
+    // Metrics aggregates append strictly after the pre-existing fields:
+    // CI's campaign-smoke job greps this line for ` failed=0 `, ` drift=0 `
+    // and ` replayed=N`.
     eprintln!(
         "campaign summary: requests={requested} unique={unique} simulated={simulated} \
          replayed={replayed} failed={failed} drift={drift} \
-         ckpt_recovered={ckpt_recovered} ckpt_quarantined={ckpt_quarantined} wall={wall:.1}s"
+         ckpt_recovered={ckpt_recovered} ckpt_quarantined={ckpt_quarantined} wall={wall:.1}s{}",
+        metrics::summary_suffix()
     );
+    if scale::metrics() {
+        let prom_path = metrics::default_prom_path();
+        match metrics::write_prom(&prom_path) {
+            Ok(()) => eprintln!("metrics: wrote {}", prom_path.display()),
+            Err(e) => eprintln!("metrics: cannot write {}: {e}", prom_path.display()),
+        }
+    }
 
     let label = if sequential { "before" } else { "after" };
     let path = "BENCH_campaign.json";

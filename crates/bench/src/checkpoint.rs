@@ -284,7 +284,12 @@ fn render_record(fp: &str, experiment: &str, outcome: &JobOutcome) -> String {
             obj.field_raw("report", &run.report.to_json());
             let samples: Vec<String> = run.samples.iter().map(|s| s.to_json()).collect();
             obj.field_raw("samples", &format!("[{}]", samples.join(",")));
+            // Timing fields stay last: the chaos byte-identity test (and
+            // any reader comparing records sans wall-clock noise) strips
+            // the record tail starting at `host_seconds`.
             obj.field_raw("host_seconds", &format!("{:.6}", run.host_seconds));
+            obj.field_raw("warmup_seconds", &format!("{:.6}", run.warmup_seconds));
+            obj.field_raw("measure_seconds", &format!("{:.6}", run.measure_seconds));
         }
         failed => {
             obj.field_str("error", &failed.describe());
@@ -314,16 +319,17 @@ fn decode_record(v: &JsonValue) -> Result<Option<(String, SimRun)>, ()> {
             .ok_or(())?,
         None => Vec::new(),
     };
-    let host_seconds = v
-        .get("host_seconds")
-        .and_then(|h| h.as_f64())
-        .unwrap_or(0.0);
+    let seconds = |key: &str| v.get(key).and_then(|h| h.as_f64()).unwrap_or(0.0);
     Ok(Some((
         fp.to_string(),
         SimRun {
             report,
             samples,
-            host_seconds,
+            host_seconds: seconds("host_seconds"),
+            // Absent on pre-metrics checkpoints: stage attribution is
+            // simply unknown for replayed runs, not an error.
+            warmup_seconds: seconds("warmup_seconds"),
+            measure_seconds: seconds("measure_seconds"),
         },
     )))
 }

@@ -6,16 +6,21 @@
 //! lengths scale through environment variables so the full study fits any
 //! time budget:
 //!
-//! * `EMISSARY_MEASURE_INSNS` — measurement window per run (default 1M);
-//! * `EMISSARY_WARMUP_INSNS` — warmup per run (default 200k);
+//! * `EMISSARY_MEASURE_INSNS` — measurement window per run (default 8M);
+//! * `EMISSARY_WARMUP_INSNS` — warmup per run (default 4M);
 //! * `EMISSARY_THREADS` — worker threads (default: available parallelism).
 //!
-//! Observability (see DESIGN.md "Telemetry & tracing"):
+//! Observability (see DESIGN.md "Telemetry & tracing" and "Metrics &
+//! profiling"):
 //!
 //! * `EMISSARY_SAMPLE_INTERVAL` — per-job interval sampling period in
 //!   committed instructions (time series in `results/<name>.jsonl`);
 //! * `EMISSARY_TRACE_OUT` — directory receiving one cycle-stamped event
-//!   trace (`.jsonl`) per simulation job.
+//!   trace (`.jsonl`) per simulation job;
+//! * `EMISSARY_METRICS=0` — disable the campaign metrics registry
+//!   (worker/stage spans, post-run sim counters, `results/metrics.prom`);
+//! * `EMISSARY_METRICS_INTERVAL_MS` — re-render `results/metrics.prom`
+//!   at this period while jobs run ([`metrics`]).
 //!
 //! Fault tolerance (see DESIGN.md "Failure handling & resume"):
 //!
@@ -51,6 +56,7 @@ pub mod campaign;
 pub mod chaos;
 pub mod checkpoint;
 pub mod experiments;
+pub mod metrics;
 pub mod pool;
 pub mod results;
 pub mod scale;
@@ -62,9 +68,9 @@ pub use results::ThroughputEntry;
 pub use scale::{measure_instrs, sample_interval, threads, trace_out, warmup_instrs};
 
 use emissary_core::spec::PolicySpec;
-use emissary_obs::{JsonlSink, Tracer};
+use emissary_obs::{JsonlSink, MetricsHub, Tracer};
 use emissary_sim::{
-    run_sim_checked, FaultConfig, ObsConfig, SimAbort, SimConfig, SimReport, SimRun,
+    run_sim_checked_on, FaultConfig, ObsConfig, SimAbort, SimConfig, SimReport, SimRun,
 };
 use emissary_workloads::Profile;
 
@@ -143,6 +149,20 @@ impl Job {
     /// each job's trace file in place instead of minting a fresh sequence
     /// number per process.
     pub fn run_checked(&self, fault: &FaultConfig) -> Result<SimRun, SimAbort> {
+        self.run_checked_metered(fault, &MetricsHub::default(), "main")
+    }
+
+    /// [`Job::run_checked`] with per-stage span attribution: program
+    /// build, warmup, and measurement host time land in `hub`'s
+    /// `emissary_stage_ns_total` cells under the given `worker` label
+    /// (the pool passes each worker's index). With a disabled hub this
+    /// is exactly [`Job::run_checked`].
+    pub fn run_checked_metered(
+        &self,
+        fault: &FaultConfig,
+        hub: &MetricsHub,
+        worker: &str,
+    ) -> Result<SimRun, SimAbort> {
         let mut fault = fault.clone();
         match self.effective_injection() {
             Some(FaultInjection::Panic) => panic!(
@@ -187,20 +207,42 @@ impl Job {
             }
             None => (Tracer::disabled(), None),
         };
-        let obs = ObsConfig::new(tracer.clone(), scale::sample_interval());
-        let result = run_sim_checked(&self.profile, &self.config, &obs, &fault);
-        // A sink that degraded mid-run dropped events: surface it once as
-        // a trace_error record instead of letting the truncation pass
-        // silently.
-        tracer.flush();
-        if let (Some(path), Some(err)) = (trace_path, tracer.sink_error()) {
-            results::log_trace_error(
-                self.profile.name,
-                &self.config.l2_policy.to_string(),
-                &path.display().to_string(),
-                &err,
+        // The guard flushes the sink and surfaces any degradation as a
+        // trace_error record on *every* exit path — normal return, abort,
+        // or a panic unwinding through `catch_unwind` in the pool. The
+        // previous explicit flush-then-check was skipped on unwind, so a
+        // sink error during the final flush at drop was silently lost.
+        let guard = TraceGuard {
+            tracer,
+            path: trace_path,
+            benchmark: self.profile.name,
+            policy: self.config.l2_policy.to_string(),
+        };
+        let build_start = std::time::Instant::now();
+        let program = self.profile.shared_program();
+        let build_ns = metrics::elapsed_ns(build_start);
+        let obs = ObsConfig::new(guard.tracer.clone(), scale::sample_interval())
+            .with_metrics(hub.clone());
+        let result = run_sim_checked_on(&program, &self.profile, &self.config, &obs, &fault);
+        hub.with(|m| {
+            m.count(
+                metrics::STAGE_NS,
+                &[("stage", "build"), ("worker", worker)],
+                build_ns,
             );
-        }
+            if let Ok(run) = &result {
+                m.count(
+                    metrics::STAGE_NS,
+                    &[("stage", "warmup"), ("worker", worker)],
+                    (run.warmup_seconds * 1e9) as u64,
+                );
+                m.count(
+                    metrics::STAGE_NS,
+                    &[("stage", "measure"), ("worker", worker)],
+                    (run.measure_seconds * 1e9) as u64,
+                );
+            }
+        });
         result
     }
 
@@ -229,6 +271,32 @@ impl Job {
         let target = scale::inject_panic()?;
         let me = format!("{}/{}", self.profile.name, self.config.l2_policy);
         (target == me).then_some(FaultInjection::Panic)
+    }
+}
+
+/// Flushes a job's trace sink and surfaces its error state when the job
+/// ends — however it ends. Held across the simulation call so a panic
+/// unwinding to the pool's `catch_unwind` still flushes and still leaves
+/// a `trace_error` record, instead of the sink's `Drop` discarding the
+/// final flush result.
+struct TraceGuard {
+    tracer: Tracer,
+    path: Option<std::path::PathBuf>,
+    benchmark: &'static str,
+    policy: String,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        self.tracer.flush();
+        if let (Some(path), Some(err)) = (&self.path, self.tracer.sink_error()) {
+            results::log_trace_error(
+                self.benchmark,
+                &self.policy,
+                &path.display().to_string(),
+                &err,
+            );
+        }
     }
 }
 

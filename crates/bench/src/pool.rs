@@ -17,9 +17,11 @@ use std::time::{Duration, Instant};
 
 use emissary_sim::{ConfigError, FaultConfig, SimAbort, SimReport, SimRun};
 
+use emissary_obs::MetricsHub;
+
 use crate::chaos::{self, FaultPlan};
 use crate::checkpoint::{self, fingerprint, Campaign};
-use crate::{results, scale, Job};
+use crate::{metrics, results, scale, Job};
 
 /// Deterministic backoff unit between retry attempts: attempt `n` sleeps
 /// `n × 25 ms` before attempt `n + 1`. Long enough to ride out transient
@@ -326,9 +328,16 @@ pub fn run_parallel_outcomes_hooked(
     let hook = &hook;
     let results: Vec<(usize, JobOutcome)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for _ in 0..workers {
+        for w in 0..workers {
             let cursor = &cursor;
             handles.push(scope.spawn(move || {
+                // Per-worker metrics cells: plain u64 adds while the
+                // worker runs, one merge into the global registry at
+                // exit. Nothing here executes inside the cycle loop.
+                let hub = metrics::worker_hub();
+                let worker = w.to_string();
+                let wall_start = Instant::now();
+                let mut busy_ns = 0u64;
                 let mut local = Vec::new();
                 loop {
                     // Cooperative shutdown: stop claiming jobs; everything
@@ -341,10 +350,30 @@ pub fn run_parallel_outcomes_hooked(
                     if i >= jobs.len() {
                         break;
                     }
-                    let outcome = run_one(&jobs[i], opts, campaign);
+                    let job_start = Instant::now();
+                    let outcome = run_one(&jobs[i], opts, campaign, &hub, &worker);
+                    let job_ns = metrics::elapsed_ns(job_start);
+                    busy_ns += job_ns;
+                    hub.with(|m| {
+                        m.record(metrics::JOB_NS, &[("worker", &worker)], job_ns);
+                        m.count(
+                            metrics::JOBS_TOTAL,
+                            &[("worker", &worker), ("status", outcome.status())],
+                            1,
+                        );
+                    });
                     hook(i, &outcome);
                     local.push((i, outcome));
                 }
+                hub.with(|m| {
+                    m.count(metrics::WORKER_BUSY_NS, &[("worker", &worker)], busy_ns);
+                    m.count(
+                        metrics::WORKER_WALL_NS,
+                        &[("worker", &worker)],
+                        metrics::elapsed_ns(wall_start),
+                    );
+                });
+                hub.drain_to(emissary_obs::metrics::global());
                 local
             }));
         }
@@ -380,7 +409,13 @@ pub fn run_parallel_outcomes_hooked(
 /// results JSONL before the next attempt, so the attempt history survives
 /// even when the job eventually completes. Only the final outcome counts
 /// toward the process-wide simulated/failed counters.
-pub(crate) fn run_one(job: &Job, opts: &PoolOptions, campaign: Option<&Campaign>) -> JobOutcome {
+pub(crate) fn run_one(
+    job: &Job,
+    opts: &PoolOptions,
+    campaign: Option<&Campaign>,
+    hub: &MetricsHub,
+    worker: &str,
+) -> JobOutcome {
     let fp = fingerprint(job);
     if let Some(run) = campaign.and_then(|c| c.cached(&fp)) {
         checkpoint::note_replayed();
@@ -415,7 +450,7 @@ pub(crate) fn run_one(job: &Job, opts: &PoolOptions, campaign: Option<&Campaign>
             // state locally, so resuming the pool after a caught panic
             // cannot observe broken invariants.
             let outcome = match catch_unwind(AssertUnwindSafe(|| {
-                attempt_job.run_checked(&opts.fault_config())
+                attempt_job.run_checked_metered(&opts.fault_config(), hub, worker)
             })) {
                 Ok(Ok(run)) => JobOutcome::Completed {
                     run: Box::new(run),
@@ -445,7 +480,9 @@ pub(crate) fn run_one(job: &Job, opts: &PoolOptions, campaign: Option<&Campaign>
             }
             results::log_retried_failure(&outcome);
             if let Some(c) = campaign {
+                let t0 = Instant::now();
                 c.record(&fp, &outcome);
+                metrics::record_stage(hub, worker, "checkpoint", metrics::elapsed_ns(t0));
             }
             eprintln!(
                 "pool: {benchmark}/{policy} attempt {attempt} {}; retrying ({}/{max_attempts})",
@@ -461,7 +498,9 @@ pub(crate) fn run_one(job: &Job, opts: &PoolOptions, campaign: Option<&Campaign>
         _ => checkpoint::note_failed(),
     }
     if let Some(c) = campaign {
+        let t0 = Instant::now();
         c.record(&fp, &outcome);
+        metrics::record_stage(hub, worker, "checkpoint", metrics::elapsed_ns(t0));
     }
     outcome
 }

@@ -32,7 +32,7 @@ use emissary_obs::JsonObject;
 use emissary_sim::SimRun;
 
 use crate::experiments::Experiment;
-use crate::scale;
+use crate::{metrics, scale};
 
 use crate::chaos::lock_unpoisoned;
 
@@ -373,12 +373,25 @@ pub fn throughput_footer(runs: &[SimRun]) -> Option<String> {
     let cycles: u64 = timed.iter().map(|r| r.report.cycles).sum();
     let committed: u64 = timed.iter().map(|r| r.report.committed).sum();
     Some(format!(
-        "host throughput: {} run(s), {:.1}s host time, {:.2} Mcycles/s, {:.2} MIPS",
+        "host throughput: {} run(s), {} thread(s), {:.1}s host time, {:.2} Mcycles/s, {:.2} MIPS",
         timed.len(),
+        scale::threads(),
         host,
         cycles as f64 / host / 1e6,
         committed as f64 / host / 1e6,
     ))
+}
+
+/// Aggregate host timing over `runs`: (host seconds summed over timed
+/// runs, host MIPS). Both zero when nothing carried timing.
+fn host_aggregates(runs: &[SimRun]) -> (f64, f64) {
+    let timed: Vec<&SimRun> = runs.iter().filter(|r| r.host_seconds > 0.0).collect();
+    let host: f64 = timed.iter().map(|r| r.host_seconds).sum();
+    if host <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let committed: u64 = timed.iter().map(|r| r.report.committed).sum();
+    (host, committed as f64 / host / 1e6)
 }
 
 /// Renders `exp` to stdout and writes `results/<name>.jsonl`
@@ -387,14 +400,16 @@ pub fn throughput_footer(runs: &[SimRun]) -> Option<String> {
 /// the other diagnostics: stdout carries only deterministic simulation
 /// output, so byte-comparing it across runs stays a valid check.
 pub fn emit(name: &str, exp: &Experiment) {
-    print!("{}", exp.render());
-    if let Some(footer) = throughput_footer(&lock_unpoisoned(&RUN_LOG)) {
-        eprintln!("{footer}");
-    }
-    match write_experiment(name, exp) {
-        Ok(path) => eprintln!("results: wrote {}", path.display()),
-        Err(e) => eprintln!("results: failed to write {name}.jsonl: {e}"),
-    }
+    metrics::time_stage("main", "render", || {
+        print!("{}", exp.render());
+        if let Some(footer) = throughput_footer(&lock_unpoisoned(&RUN_LOG)) {
+            eprintln!("{footer}");
+        }
+        match write_experiment(name, exp) {
+            Ok(path) => eprintln!("results: wrote {}", path.display()),
+            Err(e) => eprintln!("results: failed to write {name}.jsonl: {e}"),
+        }
+    });
 }
 
 /// Writes `results/<name>.jsonl` for `exp`, consuming the logged runs.
@@ -431,6 +446,7 @@ pub fn write_records(
     failures: &[JobFailure],
     ckpt_errors: &[CkptError],
 ) -> io::Result<()> {
+    let (host_seconds, host_mips) = host_aggregates(runs);
     let mut meta = JsonObject::new();
     meta.field_str("record", "meta")
         .field_str("experiment", name)
@@ -438,7 +454,10 @@ pub fn write_records(
         .field_u64("warmup_instrs", scale::warmup_instrs())
         .field_u64("measure_instrs", scale::measure_instrs())
         .field_u64("sample_interval", scale::sample_interval().unwrap_or(0))
-        .field_u64("runs", runs.len() as u64);
+        .field_u64("runs", runs.len() as u64)
+        .field_u64("threads", scale::threads() as u64)
+        .field_f64("host_seconds", host_seconds)
+        .field_f64("host_mips", host_mips);
     writeln!(out, "{}", meta.finish())?;
     for run in runs {
         let mut obj = JsonObject::new();

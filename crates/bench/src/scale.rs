@@ -132,6 +132,28 @@ pub fn inject_panic() -> Option<String> {
         .filter(|v| !v.is_empty())
 }
 
+/// Whether the metrics subsystem records (`EMISSARY_METRICS`, default
+/// on; `0` disables). Metrics are merge-at-drain and export only after
+/// each simulation finishes, so leaving them on cannot perturb
+/// simulated behaviour (the metrics-smoke test holds both bit-identity
+/// and a < 2% throughput overhead budget).
+pub fn metrics() -> bool {
+    env::var(emissary_obs::ENV_METRICS)
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
+/// Optional periodic metrics-dump interval in milliseconds
+/// (`EMISSARY_METRICS_INTERVAL_MS`; unset or `0` disables). When set,
+/// the campaign re-renders `results/metrics.prom` at this period while
+/// jobs run, so long campaigns can be watched live.
+pub fn metrics_interval_ms() -> Option<u64> {
+    env::var(emissary_obs::ENV_METRICS_INTERVAL_MS)
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .filter(|&v| v > 0)
+}
+
 /// Worker threads (`EMISSARY_THREADS`, default: available parallelism).
 pub fn threads() -> usize {
     env::var("EMISSARY_THREADS")

@@ -1,5 +1,7 @@
 //! Per-cache event counters.
 
+use emissary_obs::LocalMetrics;
+
 use crate::line::LineKind;
 
 /// Counters maintained by a single [`crate::cache::Cache`].
@@ -96,6 +98,33 @@ impl CacheStats {
             0.0
         } else {
             self.demand_misses() as f64 / a as f64
+        }
+    }
+
+    /// Exports the counters into metrics cells, labelled with the cache
+    /// `level` (e.g. `l2`). Called once per run after simulation ends.
+    pub fn metrics_into(&self, level: &str, m: &mut LocalMetrics) {
+        let labels: &[(&'static str, &str)] = &[("level", level)];
+        let pairs: &[(&'static str, u64)] = &[
+            (
+                "emissary_cache_demand_hits_total",
+                self.instr_hits + self.data_hits,
+            ),
+            ("emissary_cache_demand_misses_total", self.demand_misses()),
+            ("emissary_cache_prefetch_hits_total", self.prefetch_hits()),
+            (
+                "emissary_cache_prefetch_misses_total",
+                self.prefetch_misses(),
+            ),
+            ("emissary_cache_fills_total", self.fills),
+            ("emissary_cache_evictions_total", self.evictions),
+            ("emissary_cache_writebacks_total", self.writebacks),
+            ("emissary_cache_invalidations_total", self.invalidations),
+            ("emissary_cache_priority_hits_total", self.priority_hits),
+            ("emissary_cache_bypasses_total", self.bypasses),
+        ];
+        for &(name, v) in pairs {
+            m.count(name, labels, v);
         }
     }
 }

@@ -4,6 +4,7 @@
 //! JSON happens only inside sinks that asked for it.
 
 use crate::json::JsonObject;
+use crate::parse::JsonValue;
 
 /// Which level of the memory hierarchy served (or absorbed) an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,6 +32,39 @@ impl Level {
             Level::InFlight => "inflight",
         }
     }
+
+    /// Parses the name produced by [`Level::as_str`].
+    pub fn parse(s: &str) -> Option<Level> {
+        Some(match s {
+            "l1" => Level::L1,
+            "l2" => Level::L2,
+            "l3" => Level::L3,
+            "memory" => Level::Memory,
+            "inflight" => Level::InFlight,
+            _ => return None,
+        })
+    }
+}
+
+/// Every audit-invariant name emitted anywhere in the workspace.
+/// `TraceEvent::AuditViolation` carries `&'static str`, so parsing a
+/// trace back must intern against this list; the exhaustive-coverage
+/// test in `tests/event_roundtrip.rs` asserts it stays in sync with the
+/// emit sites.
+pub const KNOWN_INVARIANTS: &[&str] = &[
+    "inclusion",
+    "exclusivity",
+    "set_occupancy",
+    "line_placement",
+    "duplicate_line",
+    "priority_on_data",
+    "policy_state",
+];
+
+/// Maps an invariant name from a parsed trace back to its static
+/// spelling (`None` for names no emit site uses).
+pub fn intern_invariant(name: &str) -> Option<&'static str> {
+    KNOWN_INVARIANTS.iter().find(|&&k| k == name).copied()
 }
 
 /// One cycle-stamped simulator event.
@@ -129,6 +163,20 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
+    /// Every event kind name [`TraceEvent::kind`] can return, in variant
+    /// order. The round-trip test asserts this list matches the emit
+    /// sites found by grepping the workspace.
+    pub const KINDS: &'static [&'static str] = &[
+        "l2_fill",
+        "l2_evict",
+        "l2_bypass",
+        "priority_mark",
+        "protect",
+        "starve_start",
+        "starve_end",
+        "audit_violation",
+    ];
+
     /// The cycle stamp carried by the event.
     pub fn cycle(&self) -> u64 {
         match *self {
@@ -227,6 +275,69 @@ impl TraceEvent {
             }
         }
         obj.finish()
+    }
+
+    /// Parses one event back from the JSON object [`TraceEvent::to_json`]
+    /// produces. Returns `None` for unknown kinds, missing fields, or an
+    /// `audit_violation` naming an invariant no emit site uses (see
+    /// [`intern_invariant`]).
+    pub fn parse(v: &JsonValue) -> Option<TraceEvent> {
+        let kind = v.get("event")?.as_str()?;
+        let cycle = v.get("cycle")?.as_u64()?;
+        let line = |key: &str| v.get(key).and_then(JsonValue::as_u64);
+        let level = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .and_then(Level::parse)
+        };
+        let flag = |key: &str| v.get(key).and_then(JsonValue::as_bool);
+        Some(match kind {
+            "l2_fill" => TraceEvent::L2Fill {
+                cycle,
+                line: line("line")?,
+                source: level("source")?,
+                high_priority: flag("high_priority")?,
+            },
+            "l2_evict" => TraceEvent::L2Evict {
+                cycle,
+                line: line("line")?,
+                high_priority: flag("high_priority")?,
+            },
+            "l2_bypass" => TraceEvent::L2Bypass {
+                cycle,
+                line: line("line")?,
+            },
+            "priority_mark" => TraceEvent::PriorityMark {
+                cycle,
+                line: line("line")?,
+                deferred: flag("deferred")?,
+            },
+            "protect" => TraceEvent::Protect {
+                cycle,
+                set: u32::try_from(line("set")?).ok()?,
+                high_lines: u32::try_from(line("high_lines")?).ok()?,
+                protected: flag("protected")?,
+            },
+            "starve_start" => TraceEvent::StarveStart {
+                cycle,
+                line: line("line")?,
+                source: level("source")?,
+            },
+            "starve_end" => TraceEvent::StarveEnd {
+                cycle,
+                line: line("line")?,
+                source: level("source")?,
+                start_cycle: line("start_cycle")?,
+            },
+            "audit_violation" => TraceEvent::AuditViolation {
+                cycle,
+                invariant: intern_invariant(v.get("invariant")?.as_str()?)?,
+                level: level("level")?,
+                set: u32::try_from(line("set")?).ok()?,
+                detail: line("detail")?,
+            },
+            _ => return None,
+        })
     }
 }
 

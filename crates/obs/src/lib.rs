@@ -16,20 +16,32 @@
 //! 3. **JSONL emission** — a small hand-rolled [`json`] writer (string
 //!    escaping, non-finite f64 guards) used by the sinks and by the bench
 //!    harness's `results/<name>.jsonl` reports.
+//! 4. **Metrics** — [`MetricsRegistry`] / [`MetricsHub`] provide counters,
+//!    gauges, and log-2-bucketed histograms with allocation-free hot-path
+//!    updates (plain `u64` cells owned per worker, merged at drain — no
+//!    atomics in the cycle loop), plus Prometheus-text [`expose`]
+//!    rendering and parsing for the `emissary-inspect` analyzer.
 //!
 //! Observability must never perturb simulation: nothing in this crate
 //! feeds back into simulated state, and a regression test in the `sim`
 //! crate asserts bit-identical reports with tracing on and off.
 
 pub mod event;
+pub mod expose;
 pub mod json;
+pub mod metrics;
 pub mod parse;
 pub mod sample;
 pub mod sink;
 pub mod tracer;
 
 pub use event::{Level, TraceEvent};
+pub use expose::{parse_prometheus, render_prometheus, PromSample};
 pub use json::JsonObject;
+pub use metrics::{
+    bucket_bound, bucket_index, CellId, LocalMetrics, Log2Hist, Metric, MetricValue, MetricsHub,
+    MetricsRegistry, HIST_BUCKETS,
+};
 pub use parse::{jsonl_lines, JsonParseError, JsonValue, JsonlLine};
 pub use sample::{interval_chunks, IntervalSample, SampleCounters, SampleSeries};
 pub use sink::{JsonlSink, NullSink, RingBuffer, RingSink, TraceSink};
@@ -40,3 +52,10 @@ pub const ENV_TRACE_OUT: &str = "EMISSARY_TRACE_OUT";
 
 /// Env var setting the interval-sampler period in committed instructions.
 pub const ENV_SAMPLE_INTERVAL: &str = "EMISSARY_SAMPLE_INTERVAL";
+
+/// Env var toggling the metrics subsystem (default on; `0` disables).
+pub const ENV_METRICS: &str = "EMISSARY_METRICS";
+
+/// Env var setting an optional periodic metrics-dump interval in
+/// milliseconds (unset disables the periodic dump).
+pub const ENV_METRICS_INTERVAL_MS: &str = "EMISSARY_METRICS_INTERVAL_MS";

@@ -1,0 +1,223 @@
+//! Exhaustive event-vocabulary coverage: every `TraceEvent` kind emitted
+//! anywhere in the workspace must round-trip through JSON, and the
+//! parser's vocabulary must stay in sync with the emit sites.
+//!
+//! The emit-site list is grep-driven: the test scans every `.rs` file
+//! under `crates/` for `TraceEvent::<Variant>` tokens and
+//! `invariant: "<name>"` literals, so adding a new event kind (or audit
+//! invariant) without teaching `TraceEvent::parse` /
+//! `KNOWN_INVARIANTS` fails CI instead of producing traces that
+//! `emissary-inspect` silently drops.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use emissary_obs::event::{intern_invariant, KNOWN_INVARIANTS};
+use emissary_obs::{JsonValue, Level, TraceEvent};
+
+/// The variant ↔ kind table the scan checks against. Adding a variant to
+/// `TraceEvent` without extending this table fails the sync assertions.
+const VARIANTS: &[(&str, &str)] = &[
+    ("L2Fill", "l2_fill"),
+    ("L2Evict", "l2_evict"),
+    ("L2Bypass", "l2_bypass"),
+    ("PriorityMark", "priority_mark"),
+    ("Protect", "protect"),
+    ("StarveStart", "starve_start"),
+    ("StarveEnd", "starve_end"),
+    ("AuditViolation", "audit_violation"),
+];
+
+/// One representative event per kind, with every field nonzero so a
+/// dropped field cannot round-trip by coincidence.
+fn sample(kind: &str) -> TraceEvent {
+    match kind {
+        "l2_fill" => TraceEvent::L2Fill {
+            cycle: 11,
+            line: 0xdead_beef,
+            source: Level::Memory,
+            high_priority: true,
+        },
+        "l2_evict" => TraceEvent::L2Evict {
+            cycle: 13,
+            line: 0xfeed,
+            high_priority: true,
+        },
+        "l2_bypass" => TraceEvent::L2Bypass {
+            cycle: 17,
+            line: 0xbee,
+        },
+        "priority_mark" => TraceEvent::PriorityMark {
+            cycle: 19,
+            line: 0xcafe,
+            deferred: true,
+        },
+        "protect" => TraceEvent::Protect {
+            cycle: 23,
+            set: 42,
+            high_lines: 7,
+            protected: true,
+        },
+        "starve_start" => TraceEvent::StarveStart {
+            cycle: 29,
+            line: 0xabc,
+            source: Level::L3,
+        },
+        "starve_end" => TraceEvent::StarveEnd {
+            cycle: 131,
+            line: 0xabc,
+            source: Level::L2,
+            start_cycle: 29,
+        },
+        "audit_violation" => TraceEvent::AuditViolation {
+            cycle: 37,
+            invariant: intern_invariant("set_occupancy").unwrap(),
+            level: Level::L2,
+            set: 3,
+            detail: 99,
+        },
+        other => panic!("TraceEvent::KINDS lists {other:?} but the test has no sample for it"),
+    }
+}
+
+#[test]
+fn every_kind_round_trips_through_json() {
+    for &kind in TraceEvent::KINDS {
+        let event = sample(kind);
+        assert_eq!(event.kind(), kind, "sample built the wrong variant");
+        let json = event.to_json();
+        let value = JsonValue::parse(&json).unwrap_or_else(|e| panic!("{kind}: bad JSON: {e}"));
+        let parsed = TraceEvent::parse(&value)
+            .unwrap_or_else(|| panic!("{kind}: parser rejected its own serialization {json}"));
+        assert_eq!(parsed, event, "{kind}: lossy round-trip via {json}");
+    }
+}
+
+#[test]
+fn kinds_list_matches_the_variant_table() {
+    let table: Vec<&str> = VARIANTS.iter().map(|(_, k)| *k).collect();
+    assert_eq!(
+        TraceEvent::KINDS,
+        table.as_slice(),
+        "TraceEvent::KINDS and the test's variant table disagree"
+    );
+}
+
+#[test]
+fn unknown_kinds_and_invariants_are_rejected() {
+    let v = JsonValue::parse("{\"event\":\"warp_drive\",\"cycle\":1}").unwrap();
+    assert_eq!(TraceEvent::parse(&v), None);
+    let v = JsonValue::parse(
+        "{\"event\":\"audit_violation\",\"cycle\":1,\"invariant\":\"made_up\",\
+         \"level\":\"l2\",\"set\":0,\"detail\":0}",
+    )
+    .unwrap();
+    assert_eq!(
+        TraceEvent::parse(&v),
+        None,
+        "un-interned invariant must not parse"
+    );
+}
+
+/// Collects every `.rs` file under the workspace's `crates/` tree.
+fn workspace_sources() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/obs has a workspace root")
+        .join("crates");
+    let mut files = Vec::new();
+    let mut stack = vec![root];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    assert!(
+        files.len() > 10,
+        "source scan found almost nothing — wrong root?"
+    );
+    files
+}
+
+/// Extracts the CamelCase identifiers following `TraceEvent::` in `src`
+/// (skipping ALL_CAPS associated consts and lowercase methods).
+fn variant_mentions(src: &str, into: &mut BTreeSet<String>) {
+    for (at, _) in src.match_indices("TraceEvent::") {
+        let rest = &src[at + "TraceEvent::".len()..];
+        let ident: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let camel = ident.starts_with(|c: char| c.is_ascii_uppercase())
+            && ident.chars().any(|c| c.is_ascii_lowercase());
+        if camel {
+            into.insert(ident);
+        }
+    }
+}
+
+/// Extracts the string literals in `invariant: "<name>"` struct fields.
+fn invariant_mentions(src: &str, into: &mut BTreeSet<String>) {
+    for (at, _) in src.match_indices("invariant: \"") {
+        let rest = &src[at + "invariant: \"".len()..];
+        if let Some(end) = rest.find('"') {
+            let name = &rest[..end];
+            // Only identifier-shaped names: skips prose placeholders in
+            // doc comments (like the one atop this file).
+            if !name.is_empty() && name.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+                into.insert(name.to_string());
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_emit_sites_are_covered_by_the_parser() {
+    let mut variants = BTreeSet::new();
+    let mut invariants = BTreeSet::new();
+    for path in workspace_sources() {
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        variant_mentions(&src, &mut variants);
+        invariant_mentions(&src, &mut invariants);
+    }
+    // Every TraceEvent::<Variant> token anywhere must be a variant the
+    // parse/KINDS table knows (a brand-new variant shows up here first).
+    let known: BTreeSet<&str> = VARIANTS.iter().map(|(v, _)| *v).collect();
+    for v in &variants {
+        assert!(
+            known.contains(v.as_str()),
+            "workspace mentions TraceEvent::{v} but TraceEvent::KINDS / parse() does not cover it"
+        );
+    }
+    // ... and every known variant is actually used somewhere.
+    for (v, _) in VARIANTS {
+        assert!(
+            variants.contains(*v),
+            "TraceEvent::{v} has no mention anywhere in the workspace — dead vocabulary?"
+        );
+    }
+    // Same sync contract for audit invariant names.
+    for name in &invariants {
+        assert!(
+            intern_invariant(name).is_some(),
+            "emit site uses invariant {name:?} missing from KNOWN_INVARIANTS"
+        );
+    }
+    for name in KNOWN_INVARIANTS {
+        assert!(
+            invariants.contains(*name),
+            "KNOWN_INVARIANTS lists {name:?} but no emit site uses it"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Top-level simulation driver: warmup, measurement, report assembly.
 
 use emissary_energy::{ActivityCounts, EnergyParams};
-use emissary_obs::{interval_chunks, IntervalSample, SampleSeries, Tracer};
+use emissary_obs::{interval_chunks, IntervalSample, MetricsHub, SampleSeries, Tracer};
 use emissary_stats::summary::mpki;
 use emissary_workloads::walker::Walker;
 use emissary_workloads::{Profile, Program};
@@ -21,15 +21,27 @@ pub struct ObsConfig {
     /// Snapshot interval in committed instructions (Figure-8-style time
     /// series). `None` or `Some(0)` disables sampling.
     pub sample_interval: Option<u64>,
+    /// Metrics cells the run exports its end-of-run counters into.
+    /// Disabled (the default), nothing is recorded. Export happens only
+    /// after the simulation finishes, so metrics can never perturb the
+    /// simulated behaviour.
+    pub metrics: MetricsHub,
 }
 
 impl ObsConfig {
-    /// Builds from a tracer plus optional interval.
+    /// Builds from a tracer plus optional interval (metrics disabled).
     pub fn new(tracer: Tracer, sample_interval: Option<u64>) -> Self {
         Self {
             tracer,
             sample_interval,
+            metrics: MetricsHub::default(),
         }
+    }
+
+    /// Attaches a metrics hub for end-of-run counter export.
+    pub fn with_metrics(mut self, metrics: MetricsHub) -> Self {
+        self.metrics = metrics;
+        self
     }
 }
 
@@ -43,6 +55,12 @@ pub struct SimRun {
     /// Host wall-clock seconds the run took (warmup + measurement), for
     /// campaign-cost accounting. Not part of the simulated behaviour.
     pub host_seconds: f64,
+    /// Host seconds spent in the warmup phase (subset of
+    /// `host_seconds`). Not part of the simulated behaviour.
+    pub warmup_seconds: f64,
+    /// Host seconds spent in the measurement phase (subset of
+    /// `host_seconds`). Not part of the simulated behaviour.
+    pub measure_seconds: f64,
 }
 
 impl SimRun {
@@ -130,11 +148,13 @@ pub fn run_sim_checked_on(
     if obs.tracer.enabled() {
         machine.set_tracer(obs.tracer.clone());
     }
+    let mut warmup_seconds = 0.0;
     let result = (|| {
         if cfg.warmup_instrs > 0 {
             machine.run_instrs_checked(cfg.warmup_instrs, fault)?;
         }
         audit_epoch(&mut machine, fault)?;
+        warmup_seconds = start.elapsed().as_secs_f64();
         machine.reset_window();
         let interval = obs.sample_interval.unwrap_or(0);
         if interval > 0 {
@@ -162,10 +182,16 @@ pub fn run_sim_checked_on(
     })();
     obs.tracer.flush();
     let samples = result?;
+    let host_seconds = start.elapsed().as_secs_f64();
+    // Metrics export runs strictly after the simulation finished, so the
+    // hub cannot perturb simulated state (same contract as the tracer).
+    obs.metrics.with(|m| machine.metrics_into(m));
     Ok(SimRun {
         report: assemble_report(profile, cfg, &machine),
         samples,
-        host_seconds: start.elapsed().as_secs_f64(),
+        host_seconds,
+        warmup_seconds,
+        measure_seconds: (host_seconds - warmup_seconds).max(0.0),
     })
 }
 
