@@ -30,11 +30,14 @@ fn exit_interrupted(done: emissary_bench::checkpoint::JobCounters) -> ! {
          checkpoint flushed — rerun with EMISSARY_RESUME=1 to continue",
         done.simulated, done.replayed, done.failed
     );
-    std::process::exit(130);
+    std::process::exit(chaos::EXIT_INTERRUPTED);
 }
 
 fn main() {
     chaos::install_signal_handlers();
+    // A second SIGINT/SIGTERM during the cooperative drain forces an
+    // immediate (still checkpoint-safe) exit with a distinct code.
+    chaos::spawn_escalation_watcher("campaign");
     let cfg = emissary_bench::base_config();
     let sequential = scale::sequential();
     eprintln!(

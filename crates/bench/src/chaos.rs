@@ -369,6 +369,19 @@ impl<W: Write> Write for ChaosWriter<W> {
 // ---------------------------------------------------------------------------
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static SHUTDOWN_SIGNALS: AtomicU64 = AtomicU64::new(0);
+
+/// Conventional exit code for a cooperative (first-signal) interrupt:
+/// work stopped between jobs, checkpoint flushed, resume continues.
+pub const EXIT_INTERRUPTED: i32 = 130;
+
+/// Exit code for an **escalated** shutdown: a second SIGINT/SIGTERM
+/// arrived while the first was still draining cooperatively, so the
+/// process exited immediately instead of finishing in-flight work.
+/// Still checkpoint-safe — every completed record was already flushed —
+/// but distinct from [`EXIT_INTERRUPTED`] so wrappers can tell a clean
+/// drain from a forced abort.
+pub const EXIT_ESCALATED: i32 = 131;
 
 /// Whether a cooperative shutdown (SIGINT/SIGTERM or
 /// [`request_shutdown`]) has been requested. The pool polls this before
@@ -378,14 +391,78 @@ pub fn shutdown_requested() -> bool {
     SHUTDOWN.load(Ordering::SeqCst)
 }
 
+/// How many shutdown signals (SIGINT/SIGTERM or [`note_shutdown_signal`])
+/// have been observed. One means a cooperative drain is in progress; two
+/// or more means the operator wants out *now* (see
+/// [`spawn_escalation_watcher`]).
+pub fn shutdown_signals() -> u64 {
+    SHUTDOWN_SIGNALS.load(Ordering::SeqCst)
+}
+
 /// Raises the shutdown flag (what the signal handler does).
 pub fn request_shutdown() {
     SHUTDOWN.store(true, Ordering::SeqCst);
 }
 
-/// Clears the shutdown flag (tests; a real process exits instead).
+/// Records one shutdown signal and raises the flag — exactly what the
+/// real handler does, callable from tests and in-process drills.
+pub fn note_shutdown_signal() {
+    SHUTDOWN_SIGNALS.fetch_add(1, Ordering::SeqCst);
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the shutdown flag and signal count (tests; a real process
+/// exits instead).
 pub fn clear_shutdown() {
     SHUTDOWN.store(false, Ordering::SeqCst);
+    SHUTDOWN_SIGNALS.store(0, Ordering::SeqCst);
+}
+
+/// Spawns a detached watcher that forces the process down when a
+/// **second** shutdown signal arrives during a cooperative drain: it
+/// prints one `{what} aborted:` summary line and exits with
+/// [`EXIT_ESCALATED`]. Safe at any point — completed work is flushed to
+/// the checkpoint per append, so the forced exit loses nothing that the
+/// next `EMISSARY_RESUME=1` run cannot replay.
+pub fn spawn_escalation_watcher(what: &'static str) {
+    std::thread::Builder::new()
+        .name("signal-escalation".into())
+        .spawn(move || loop {
+            if shutdown_signals() >= 2 {
+                eprintln!(
+                    "{what} aborted: second signal forced immediate exit; \
+                     checkpoint flushed — rerun with EMISSARY_RESUME=1 to continue"
+                );
+                std::process::exit(EXIT_ESCALATED);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        })
+        .expect("spawn escalation watcher");
+}
+
+/// Deterministically jittered retry backoff for attempt `attempt`
+/// (1-based) of the job identified by `key` (its config hash).
+///
+/// The sleep is `base_ms × attempt` split half-and-half into a fixed ramp
+/// and a jitter term drawn from `splitmix64(seed ⊕ mix(key) + attempt)` —
+/// a pure function of the chaos seed (0 when chaos is off), the job, and
+/// the attempt, so reruns sleep identically while concurrent retries of
+/// *different* jobs spread out instead of synchronizing into a thundering
+/// herd. `base_ms = 0` disables the sleep.
+pub fn retry_backoff(
+    base_ms: u64,
+    attempt: u32,
+    key: u64,
+    plan: Option<&FaultPlan>,
+) -> std::time::Duration {
+    let ramp = base_ms.saturating_mul(u64::from(attempt));
+    if ramp == 0 {
+        return std::time::Duration::ZERO;
+    }
+    let seed = plan.map(|p| p.seed()).unwrap_or(0);
+    let draw = splitmix64(seed ^ splitmix64(key).wrapping_add(u64::from(attempt)));
+    let half = ramp / 2;
+    std::time::Duration::from_millis(half + draw % (ramp - half + 1))
 }
 
 #[cfg(unix)]
@@ -395,8 +472,10 @@ mod signals {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
 
-    /// Async-signal-safe handler: a single atomic store.
+    /// Async-signal-safe handler: two atomic ops (a count for drain
+    /// escalation, the flag everything polls).
     extern "C" fn on_signal(_signum: i32) {
+        super::SHUTDOWN_SIGNALS.fetch_add(1, Ordering::SeqCst);
         super::SHUTDOWN.store(true, Ordering::SeqCst);
     }
 
@@ -416,8 +495,9 @@ mod signals {
 }
 
 /// Installs SIGINT/SIGTERM handlers that raise the cooperative-shutdown
-/// flag (first signal: graceful stop; the OS default remains for SIGKILL).
-/// Idempotent; a no-op on non-unix targets.
+/// flag and count signals (first signal: graceful stop; a second during
+/// the drain escalates via [`spawn_escalation_watcher`]; the OS default
+/// remains for SIGKILL). Idempotent; a no-op on non-unix targets.
 pub fn install_signal_handlers() {
     #[cfg(unix)]
     signals::install();
@@ -518,8 +598,49 @@ mod tests {
         assert!(!shutdown_requested());
         request_shutdown();
         assert!(shutdown_requested());
+        // Signals count for escalation; a plain request does not.
+        assert_eq!(shutdown_signals(), 0);
+        note_shutdown_signal();
+        note_shutdown_signal();
+        assert!(shutdown_requested());
+        assert_eq!(shutdown_signals(), 2);
         clear_shutdown();
         assert!(!shutdown_requested());
+        assert_eq!(shutdown_signals(), 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_bounded() {
+        let plan = FaultPlan::new(42, 0.0);
+        for attempt in 1..=4u32 {
+            for key in [1u64, 0xdead_beef, u64::MAX] {
+                let a = retry_backoff(25, attempt, key, Some(&plan));
+                let b = retry_backoff(25, attempt, key, Some(&plan));
+                assert_eq!(a, b, "same inputs must sleep identically");
+                let ramp = 25 * u64::from(attempt);
+                let ms = a.as_millis() as u64;
+                assert!(
+                    (ramp / 2..=ramp).contains(&ms),
+                    "attempt {attempt}: {ms}ms outside [{}, {ramp}]",
+                    ramp / 2
+                );
+            }
+        }
+        // Different jobs desynchronize somewhere across a handful of keys.
+        let sleeps: Vec<_> = (0..8u64)
+            .map(|k| retry_backoff(1000, 1, k, Some(&plan)))
+            .collect();
+        assert!(
+            sleeps.iter().any(|s| s != &sleeps[0]),
+            "jitter never varied across keys: {sleeps:?}"
+        );
+        // Zero base (EMISSARY_RETRY_BACKOFF_MS=0) disables the sleep.
+        assert_eq!(
+            retry_backoff(0, 3, 7, Some(&plan)),
+            std::time::Duration::ZERO
+        );
+        // No chaos plan: still deterministic, seeded from 0.
+        assert_eq!(retry_backoff(25, 1, 7, None), retry_backoff(25, 1, 7, None));
     }
 
     #[test]

@@ -34,6 +34,10 @@
 //!   matching job panics, exercising the failure path end to end;
 //! * `EMISSARY_JOB_RETRIES` — bounded retry budget for panicked /
 //!   retryable-aborted jobs (default 1; `0` disables);
+//! * `EMISSARY_RETRY_BACKOFF_MS` — backoff base between retry attempts
+//!   (default 25; `0` disables the sleep), jittered deterministically
+//!   per job from the chaos seed so herds of simultaneous retries
+//!   spread out;
 //! * `EMISSARY_CHAOS_SEED` / `EMISSARY_CHAOS_RATE` — deterministic
 //!   fault injection across the campaign I/O and job paths (see
 //!   [`chaos`]).
@@ -62,7 +66,7 @@ pub mod results;
 pub mod scale;
 
 pub use pool::{
-    run_parallel, run_parallel_observed, run_parallel_outcomes, JobOutcome, PoolOptions,
+    run_job, run_parallel, run_parallel_observed, run_parallel_outcomes, JobOutcome, PoolOptions,
 };
 pub use results::ThroughputEntry;
 pub use scale::{measure_instrs, sample_interval, threads, trace_out, warmup_instrs};

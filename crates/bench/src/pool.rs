@@ -23,10 +23,12 @@ use crate::chaos::{self, FaultPlan};
 use crate::checkpoint::{self, fingerprint, Campaign};
 use crate::{metrics, results, scale, Job};
 
-/// Deterministic backoff unit between retry attempts: attempt `n` sleeps
-/// `n × 25 ms` before attempt `n + 1`. Long enough to ride out transient
-/// host contention (the usual cause of a retryable timeout), short enough
-/// to be invisible at campaign scale.
+/// Default backoff unit between retry attempts (overridable via
+/// `EMISSARY_RETRY_BACKOFF_MS`): attempt `n` sleeps roughly `n × 25 ms`
+/// before attempt `n + 1`, jittered deterministically per job so
+/// simultaneous retries spread out (see [`chaos::retry_backoff`]). Long
+/// enough to ride out transient host contention (the usual cause of a
+/// retryable timeout), short enough to be invisible at campaign scale.
 pub const RETRY_BACKOFF_MS: u64 = 25;
 
 /// What happened to one pool job. The pool always returns one outcome per
@@ -182,9 +184,13 @@ pub struct PoolOptions {
     /// Run the invariant auditor at epoch boundaries.
     pub audit: bool,
     /// Retry budget for panicked / retryable-aborted jobs: a job runs at
-    /// most `1 + retries` attempts, with deterministic backoff
-    /// ([`RETRY_BACKOFF_MS`]) between them.
+    /// most `1 + retries` attempts, with deterministic jittered backoff
+    /// ([`chaos::retry_backoff`]) between them.
     pub retries: u32,
+    /// Backoff base in milliseconds between retry attempts
+    /// (`EMISSARY_RETRY_BACKOFF_MS`, default [`RETRY_BACKOFF_MS`]; `0`
+    /// disables the sleep).
+    pub backoff_ms: u64,
     /// Chaos fault plan injecting job panics/stalls ([`FaultPlan::job_fault`]);
     /// `None` disables job-level injection.
     pub chaos: Option<Arc<FaultPlan>>,
@@ -193,7 +199,8 @@ pub struct PoolOptions {
 impl PoolOptions {
     /// Reads `EMISSARY_THREADS`, `EMISSARY_JOB_TIMEOUT_MS`,
     /// `EMISSARY_STALL_CYCLES`, `EMISSARY_AUDIT`, `EMISSARY_JOB_RETRIES`,
-    /// and the chaos plan (`EMISSARY_CHAOS_SEED`/`EMISSARY_CHAOS_RATE`).
+    /// `EMISSARY_RETRY_BACKOFF_MS`, and the chaos plan
+    /// (`EMISSARY_CHAOS_SEED`/`EMISSARY_CHAOS_RATE`).
     pub fn from_env() -> Self {
         Self {
             workers: scale::threads(),
@@ -201,6 +208,7 @@ impl PoolOptions {
             stall_cycles: scale::stall_cycles(),
             audit: scale::audit(),
             retries: scale::job_retries(),
+            backoff_ms: scale::retry_backoff_ms(),
             chaos: chaos::plan_from_env(),
         }
     }
@@ -214,6 +222,7 @@ impl PoolOptions {
             stall_cycles: Some(emissary_sim::fault::DEFAULT_STALL_CYCLES),
             audit: false,
             retries: 0,
+            backoff_ms: RETRY_BACKOFF_MS,
             chaos: None,
         }
     }
@@ -401,6 +410,27 @@ pub fn run_parallel_outcomes_hooked(
 
 /// Executes one job under the full isolation stack (checkpoint replay →
 /// validation → catch_unwind + fault detector → bounded retry) and
+/// records the outcome — the public single-job entry point for callers
+/// outside the batch pool. The `emissary-serve` daemon runs each
+/// dequeued job through this, inheriting panic isolation, watchdogs,
+/// chaos injection, retry, and checkpoint/replay identically to a batch
+/// campaign; `worker` labels the per-stage metric spans.
+///
+/// Metrics recorded on `hub` are the caller's to drain (workers merge
+/// into the global registry at thread exit — see
+/// [`crate::metrics::worker_hub`]).
+pub fn run_job(
+    job: &Job,
+    opts: &PoolOptions,
+    campaign: Option<&Campaign>,
+    hub: &MetricsHub,
+    worker: &str,
+) -> JobOutcome {
+    run_one(job, opts, campaign, hub, worker)
+}
+
+/// Executes one job under the full isolation stack (checkpoint replay →
+/// validation → catch_unwind + fault detector → bounded retry) and
 /// records the outcome.
 ///
 /// Panicked and retryable-aborted attempts (see [`SimAbort::retryable`])
@@ -489,7 +519,12 @@ pub(crate) fn run_one(
                 outcome.status(),
                 attempt + 1
             );
-            std::thread::sleep(Duration::from_millis(u64::from(attempt) * RETRY_BACKOFF_MS));
+            std::thread::sleep(chaos::retry_backoff(
+                opts.backoff_ms,
+                attempt,
+                hash,
+                opts.chaos.as_deref(),
+            ));
             attempt += 1;
         }
     };

@@ -123,6 +123,19 @@ pub fn job_retries() -> u32 {
         .unwrap_or(1)
 }
 
+/// Base retry-backoff unit in milliseconds (`EMISSARY_RETRY_BACKOFF_MS`,
+/// default [`crate::pool::RETRY_BACKOFF_MS`]; `0` disables the sleep
+/// entirely). Attempt `n` sleeps roughly `n × base` before attempt
+/// `n + 1`, with a seed-deterministic jitter component so many workers
+/// retrying at once do not synchronize into a thundering herd (see
+/// [`crate::chaos::retry_backoff`]).
+pub fn retry_backoff_ms() -> u64 {
+    env::var("EMISSARY_RETRY_BACKOFF_MS")
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .unwrap_or(crate::pool::RETRY_BACKOFF_MS)
+}
+
 /// Fault-injection drill (`EMISSARY_INJECT_PANIC=<benchmark>/<policy>`):
 /// the matching job panics instead of running, exercising the harness's
 /// failure path end to end.
@@ -202,6 +215,15 @@ mod tests {
             Some(emissary_sim::fault::DEFAULT_STALL_CYCLES)
         );
         assert_eq!(inject_panic(), None);
+        // Like the audit flag below, compare against the live environment
+        // rather than assuming the knob is unset.
+        assert_eq!(
+            retry_backoff_ms(),
+            env::var("EMISSARY_RETRY_BACKOFF_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(crate::pool::RETRY_BACKOFF_MS)
+        );
         // CI runs the suite with EMISSARY_AUDIT=1, so compare the flags
         // against the live environment instead of assuming unset.
         assert_eq!(

@@ -160,6 +160,41 @@ impl PromSample {
     }
 }
 
+/// Renders parsed samples back to Prometheus text format, one
+/// `name{labels} value` line per sample (no `# TYPE` lines — sample
+/// lists carry no family metadata).
+///
+/// `render_samples` is a faithful inverse of [`parse_prometheus`] on its
+/// output: parsing rendered samples yields the samples back, and
+/// rendering is a fixed point after one normalization pass
+/// (property-tested against hostile input in
+/// `crates/obs/tests/expose_props.rs`).
+pub fn render_samples(samples: &[PromSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        out.push_str(&s.name);
+        if !s.labels.is_empty() {
+            out.push('{');
+            let mut first = true;
+            for (k, v) in &s.labels {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(k);
+                out.push_str("=\"");
+                escape_label_into(&mut out, v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push(' ');
+        write_f64(&mut out, s.value);
+        out.push('\n');
+    }
+    out
+}
+
 fn parse_value(s: &str) -> Option<f64> {
     match s {
         "+Inf" | "Inf" => Some(f64::INFINITY),

@@ -36,7 +36,7 @@ pub mod sink;
 pub mod tracer;
 
 pub use event::{Level, TraceEvent};
-pub use expose::{parse_prometheus, render_prometheus, PromSample};
+pub use expose::{parse_prometheus, render_prometheus, render_samples, PromSample};
 pub use json::JsonObject;
 pub use metrics::{
     bucket_bound, bucket_index, CellId, LocalMetrics, Log2Hist, Metric, MetricValue, MetricsHub,

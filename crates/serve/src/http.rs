@@ -1,0 +1,285 @@
+//! A deliberately small HTTP/1.1 layer: enough to parse one request per
+//! connection and write framed or streaming responses, with hard bounds
+//! on every dimension an abusive client controls (request-line length,
+//! header count, body size) so a hostile peer costs one thread for at
+//! most one I/O timeout.
+//!
+//! No keep-alive: every response carries `Connection: close`, which keeps
+//! the thread-per-connection model honest and makes streaming endpoints
+//! trivially correct (the body ends when the socket does).
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Header pairs in wire order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (empty unless `Content-Length` said otherwise).
+    pub body: String,
+}
+
+impl Request {
+    /// The first header named `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed, carrying the status the peer gets.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or body (400).
+    Bad(String),
+    /// Body exceeded the configured cap (413).
+    TooLarge(usize),
+    /// The socket failed or timed out mid-request.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The HTTP status code this error maps to (0 for I/O errors, where
+    /// no response can be delivered).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Bad(_) => 400,
+            HttpError::TooLarge(_) => 413,
+            HttpError::Io(_) => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Bad(m) => write!(f, "bad request: {m}"),
+            HttpError::TooLarge(cap) => write!(f, "body exceeds {cap} bytes"),
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+fn read_line_bounded(r: &mut dyn BufRead) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = match r.read(&mut byte) {
+            Ok(n) => n,
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if n == 0 {
+            break;
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE {
+            return Err(HttpError::Bad(format!("line exceeds {MAX_LINE} bytes")));
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Bad("non-utf8 header bytes".into()))
+}
+
+/// Reads and validates one request. `max_body` bounds the accepted
+/// `Content-Length`; anything larger returns [`HttpError::TooLarge`]
+/// without reading the body.
+pub fn read_request(r: &mut dyn BufRead, max_body: usize) -> Result<Request, HttpError> {
+    let request_line = read_line_bounded(r)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Bad("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Bad("missing request target".into()))?;
+    if parts.next().is_none_or(|v| !v.starts_with("HTTP/1")) {
+        return Err(HttpError::Bad("not HTTP/1.x".into()));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(HttpError::Bad("target must be absolute".into()));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_bounded(r)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Bad(format!("more than {MAX_HEADERS} headers")));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Bad("header without colon".into()))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut body = String::new();
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Bad("unparseable content-length".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::Bad("transfer-encoding unsupported".into()));
+    }
+    if content_length > max_body {
+        return Err(HttpError::TooLarge(max_body));
+    }
+    if content_length > 0 {
+        let mut raw = vec![0u8; content_length];
+        let mut read = 0;
+        while read < content_length {
+            match r.read(&mut raw[read..]) {
+                Ok(0) => return Err(HttpError::Bad("body shorter than content-length".into())),
+                Ok(n) => read += n,
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+        body = String::from_utf8(raw).map_err(|_| HttpError::Bad("non-utf8 body".into()))?;
+    }
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+pub fn status_reason(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Writes a complete, framed response with `Connection: close`.
+/// `extra_headers` lets callers add e.g. `Retry-After`.
+pub fn write_response(
+    w: &mut dyn Write,
+    code: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status_reason(code),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Writes the head of a close-delimited streaming response; the caller
+/// then writes body lines and the stream ends when the socket closes.
+pub fn write_stream_head(w: &mut dyn Write, content_type: &str) -> io::Result<()> {
+    w.write_all(
+        format!("HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n")
+            .as_bytes(),
+    )?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse("POST /jobs?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\n{\"a\"").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, "{\"a\"");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn rejects_garbage_lines_and_truncated_bodies() {
+        assert_eq!(parse("nonsense\r\n\r\n").unwrap_err().status(), 400);
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nshort")
+                .unwrap_err()
+                .status(),
+            400
+        );
+        assert_eq!(
+            parse("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+    }
+
+    #[test]
+    fn responses_are_framed_and_close_delimited() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            201,
+            "application/json",
+            "{}",
+            &[("Retry-After", "1")],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 201 Created\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

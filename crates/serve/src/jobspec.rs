@@ -1,0 +1,207 @@
+//! Job specifications: the JSON surface `POST /jobs` accepts, validated
+//! down to a concrete [`Job`] before anything is queued or journaled.
+//!
+//! A spec names a benchmark and an L2 policy (paper notation, e.g.
+//! `"M:1"` or `"P(8):S&E&R(1/32)"`) plus optional run-length overrides.
+//! Building resolves every default (base config from the environment,
+//! like batch campaigns) and then pins the *resolved* values into the
+//! journal record, so a job admitted under one environment re-queues
+//! after a crash with the identical configuration — and therefore the
+//! identical checkpoint fingerprint — even if knobs changed in between.
+
+use emissary_bench::Job;
+use emissary_core::spec::PolicySpec;
+use emissary_obs::{JsonObject, JsonValue};
+use emissary_sim::ConfigError;
+use emissary_workloads::Profile;
+
+/// A validated-at-the-edges job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Benchmark name (must match a [`Profile`]).
+    pub benchmark: String,
+    /// L2 policy in paper notation.
+    pub policy: String,
+    /// Warmup override (instructions); `None` uses the server's base
+    /// config (`EMISSARY_WARMUP_INSNS`).
+    pub warmup_instrs: Option<u64>,
+    /// Measurement override (instructions); `None` uses the base config.
+    pub measure_instrs: Option<u64>,
+    /// Workload-generation seed override.
+    pub seed: Option<u64>,
+}
+
+/// Why a spec was refused — every variant maps to a typed 400 body.
+#[derive(Debug)]
+pub enum SpecError {
+    /// The body was not a JSON object.
+    Json(String),
+    /// A required field is absent or has the wrong type.
+    Field(&'static str),
+    /// No profile with this name exists.
+    UnknownBenchmark(String),
+    /// The policy notation did not parse.
+    Policy(String),
+    /// The assembled `SimConfig` failed validation.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Json(m) => write!(f, "body is not a JSON job spec: {m}"),
+            SpecError::Field(name) => write!(f, "missing or mistyped field `{name}`"),
+            SpecError::UnknownBenchmark(b) => write!(f, "unknown benchmark `{b}`"),
+            SpecError::Policy(m) => write!(f, "{m}"),
+            SpecError::Config(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn opt_u64(v: &JsonValue, key: &'static str) -> Result<Option<u64>, SpecError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(field) => field.as_u64().map(Some).ok_or(SpecError::Field(key)),
+    }
+}
+
+impl JobSpec {
+    /// Parses a request body into a spec (structure and types only; name
+    /// and notation validation happens in [`JobSpec::build`]).
+    pub fn parse(body: &str) -> Result<JobSpec, SpecError> {
+        let v = JsonValue::parse(body).map_err(|e| SpecError::Json(e.to_string()))?;
+        Self::from_json(&v)
+    }
+
+    /// [`JobSpec::parse`] over an already-parsed value (journal recovery).
+    pub fn from_json(v: &JsonValue) -> Result<JobSpec, SpecError> {
+        let benchmark = v
+            .get("benchmark")
+            .and_then(|b| b.as_str())
+            .ok_or(SpecError::Field("benchmark"))?
+            .to_string();
+        let policy = v
+            .get("policy")
+            .and_then(|p| p.as_str())
+            .ok_or(SpecError::Field("policy"))?
+            .to_string();
+        Ok(JobSpec {
+            benchmark,
+            policy,
+            warmup_instrs: opt_u64(v, "warmup_instrs")?,
+            measure_instrs: opt_u64(v, "measure_instrs")?,
+            seed: opt_u64(v, "seed")?,
+        })
+    }
+
+    /// Resolves the spec against the server's base configuration into a
+    /// runnable, fully validated [`Job`].
+    pub fn build(&self) -> Result<Job, SpecError> {
+        let profile = Profile::by_name(&self.benchmark)
+            .ok_or_else(|| SpecError::UnknownBenchmark(self.benchmark.clone()))?;
+        let policy: PolicySpec = self
+            .policy
+            .parse()
+            .map_err(|e| SpecError::Policy(format!("{e}")))?;
+        let mut template = emissary_bench::base_config();
+        if let Some(w) = self.warmup_instrs {
+            template.warmup_instrs = w;
+        }
+        if let Some(m) = self.measure_instrs {
+            template.measure_instrs = m;
+        }
+        if let Some(s) = self.seed {
+            template.seed = s;
+        }
+        let job = Job::new(profile, &template, policy);
+        job.config.validate().map_err(SpecError::Config)?;
+        Ok(job)
+    }
+
+    /// The canonical spec for `job` with every default resolved — what
+    /// the journal records, so recovery rebuilds a byte-identical
+    /// configuration regardless of the restart environment.
+    pub fn resolved(job: &Job) -> JobSpec {
+        JobSpec {
+            benchmark: job.profile.name.to_string(),
+            policy: job.config.l2_policy.to_string(),
+            warmup_instrs: Some(job.config.warmup_instrs),
+            measure_instrs: Some(job.config.measure_instrs),
+            seed: Some(job.config.seed),
+        }
+    }
+
+    /// Renders the spec as a JSON object fragment (used inside journal
+    /// records and status responses).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("benchmark", &self.benchmark)
+            .field_str("policy", &self.policy);
+        if let Some(w) = self.warmup_instrs {
+            o.field_u64("warmup_instrs", w);
+        }
+        if let Some(m) = self.measure_instrs {
+            o.field_u64("measure_instrs", m);
+        }
+        if let Some(s) = self.seed {
+            o.field_u64("seed", s);
+        }
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emissary_bench::checkpoint::fingerprint;
+
+    #[test]
+    fn parses_and_builds_a_minimal_spec() {
+        let spec = JobSpec::parse(r#"{"benchmark":"xapian","policy":"M:1"}"#).unwrap();
+        let job = spec.build().unwrap();
+        assert_eq!(job.profile.name, "xapian");
+        assert_eq!(job.config.l2_policy.to_string(), "M:1");
+    }
+
+    #[test]
+    fn resolved_spec_round_trips_to_the_same_fingerprint() {
+        let spec = JobSpec::parse(
+            r#"{"benchmark":"verilator","policy":"P(8):S&E&R(1/32)","warmup_instrs":1000,"measure_instrs":5000,"seed":7}"#,
+        )
+        .unwrap();
+        let job = spec.build().unwrap();
+        let resolved = JobSpec::resolved(&job);
+        let v = JsonValue::parse(&resolved.to_json()).unwrap();
+        let rebuilt = JobSpec::from_json(&v).unwrap().build().unwrap();
+        assert_eq!(fingerprint(&job), fingerprint(&rebuilt));
+        assert_eq!(job.config, rebuilt.config);
+    }
+
+    #[test]
+    fn typed_rejections_for_each_failure_shape() {
+        assert!(matches!(
+            JobSpec::parse("not json").unwrap_err(),
+            SpecError::Json(_)
+        ));
+        assert!(matches!(
+            JobSpec::parse(r#"{"policy":"M:1"}"#).unwrap_err(),
+            SpecError::Field("benchmark")
+        ));
+        assert!(matches!(
+            JobSpec::parse(r#"{"benchmark":"xapian","policy":"M:1","seed":"x"}"#).unwrap_err(),
+            SpecError::Field("seed")
+        ));
+        let unknown = JobSpec::parse(r#"{"benchmark":"nope","policy":"M:1"}"#).unwrap();
+        assert!(matches!(
+            unknown.build().unwrap_err(),
+            SpecError::UnknownBenchmark(_)
+        ));
+        let badpol = JobSpec::parse(r#"{"benchmark":"xapian","policy":"Z??"}"#).unwrap();
+        assert!(matches!(badpol.build().unwrap_err(), SpecError::Policy(_)));
+        let zero =
+            JobSpec::parse(r#"{"benchmark":"xapian","policy":"M:1","measure_instrs":0}"#).unwrap();
+        assert!(matches!(zero.build().unwrap_err(), SpecError::Config(_)));
+    }
+}

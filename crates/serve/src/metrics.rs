@@ -1,0 +1,76 @@
+//! Server-side metric names and the tiny helpers that record them.
+//!
+//! Every helper funnels through a short-lived [`MetricsHub`] drained into
+//! the process-global registry, the same discipline the worker pool uses:
+//! the hot path (connection threads) touches plain local cells and the
+//! shared registry is hit once per request, under one lock, at drain.
+
+use emissary_obs::metrics::global;
+use emissary_obs::MetricsHub;
+
+/// Requests served, labelled by route class and status code.
+pub const HTTP_REQUESTS: &str = "emissary_serve_http_requests_total";
+/// Admission rejections, labelled by typed reason.
+pub const REJECTIONS: &str = "emissary_serve_rejections_total";
+/// Jobs reaching a terminal state, labelled by status.
+pub const JOBS: &str = "emissary_serve_jobs_total";
+/// Jobs currently queued (gauge).
+pub const QUEUE_DEPTH: &str = "emissary_serve_queue_depth";
+/// Jobs currently running (gauge).
+pub const INFLIGHT: &str = "emissary_serve_inflight";
+
+/// Records one completed HTTP exchange.
+pub fn count_request(route: &str, code: u16) {
+    let hub = MetricsHub::recording();
+    hub.with(|m| {
+        m.count(
+            HTTP_REQUESTS,
+            &[("route", route), ("code", &code.to_string())],
+            1,
+        );
+    });
+    hub.drain_to(global());
+}
+
+/// Records one typed admission rejection.
+pub fn count_rejection(reason: &str) {
+    let hub = MetricsHub::recording();
+    hub.with(|m| m.count(REJECTIONS, &[("reason", reason)], 1));
+    hub.drain_to(global());
+}
+
+/// Records one job reaching a terminal state.
+pub fn count_job(status: &str) {
+    let hub = MetricsHub::recording();
+    hub.with(|m| m.count(JOBS, &[("status", status)], 1));
+    hub.drain_to(global());
+}
+
+/// Publishes the queue gauges (called on scrape, so they are exact at
+/// observation time rather than sampled).
+pub fn set_queue_gauges(queued: usize, running: usize) {
+    let hub = MetricsHub::recording();
+    hub.with(|m| {
+        m.set_gauge(QUEUE_DEPTH, &[], queued as f64);
+        m.set_gauge(INFLIGHT, &[], running as f64);
+    });
+    hub.drain_to(global());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_in_the_global_registry() {
+        count_request("/jobs", 201);
+        count_rejection("queue_full");
+        count_job("completed");
+        set_queue_gauges(3, 1);
+        let snap = global().snapshot();
+        assert!(snap.iter().any(|m| m.name == HTTP_REQUESTS));
+        assert!(snap.iter().any(|m| m.name == REJECTIONS));
+        assert!(snap.iter().any(|m| m.name == JOBS));
+        assert!(snap.iter().any(|m| m.name == QUEUE_DEPTH));
+    }
+}

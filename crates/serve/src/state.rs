@@ -1,0 +1,343 @@
+//! In-memory job state: status, bounded lifecycle event logs, and the
+//! condition variable event streamers park on.
+//!
+//! Event logs are bounded by construction — a job emits one line per
+//! lifecycle transition (queued, recovered, running, retried up to the
+//! retry budget, terminal) — so `GET /jobs/<id>/events` streams from a
+//! cursor over this log with no unbounded buffering anywhere. A slow
+//! reader backpressures only its own connection thread (bounded further
+//! by the socket write timeout), never the workers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use emissary_bench::chaos::lock_unpoisoned;
+use emissary_obs::JsonObject;
+
+/// Where a job is in its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted and journaled, waiting for a worker.
+    Queued,
+    /// Claimed by a worker, simulation in progress.
+    Running,
+    /// Simulation finished; report available.
+    Completed,
+    /// Terminal failure (panic budget exhausted, abort, rejection).
+    Failed,
+    /// Cancelled before any worker claimed it.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Stable lowercase name (responses, metrics labels, journal).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed => "completed",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether no further transitions can happen.
+    pub fn terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Completed | JobStatus::Failed | JobStatus::Cancelled
+        )
+    }
+}
+
+/// One job's full server-side state.
+#[derive(Debug, Clone)]
+pub struct JobEntry {
+    /// Owning tenant.
+    pub tenant: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// L2 policy notation.
+    pub policy: String,
+    /// Checkpoint fingerprint (dedup/replay key).
+    pub fingerprint: String,
+    /// Current status.
+    pub status: JobStatus,
+    /// Failure description ("" unless failed).
+    pub detail: String,
+    /// Execution attempts (0 for replays and never-ran jobs).
+    pub attempts: u32,
+    /// Whether the result replayed from the checkpoint instead of
+    /// simulating in this process.
+    pub resumed: bool,
+    /// The completed run's report JSON — byte-identical to
+    /// `SimReport::to_json`, which is what the byte-identity drill
+    /// compares across restarts.
+    pub report_json: Option<String>,
+    /// Rendered JSONL lifecycle events, in order.
+    pub events: Vec<String>,
+}
+
+/// The shared id-keyed jobs table.
+#[derive(Debug, Default)]
+pub struct JobsTable {
+    inner: Mutex<HashMap<String, JobEntry>>,
+    cv: Condvar,
+    seq: AtomicU64,
+}
+
+fn event_line(id: &str, state: &str, extra: &[(&str, &str)]) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("record", "event")
+        .field_str("id", id)
+        .field_str("state", state);
+    for (k, v) in extra {
+        o.field_str(k, v);
+    }
+    o.finish()
+}
+
+impl JobsTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next job id (`j1`, `j2`, …).
+    pub fn next_id(&self) -> String {
+        format!("j{}", self.seq.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+
+    /// Ensures future [`JobsTable::next_id`] calls start above `n`
+    /// (recovery: ids must never collide with journaled ones).
+    pub fn reserve_ids_through(&self, n: u64) {
+        self.seq.fetch_max(n, Ordering::SeqCst);
+    }
+
+    /// Inserts a freshly admitted (or recovered) job in `Queued` state.
+    pub fn insert_queued(
+        &self,
+        id: &str,
+        tenant: &str,
+        benchmark: &str,
+        policy: &str,
+        fingerprint: &str,
+        recovered: bool,
+    ) {
+        let state = if recovered { "recovered" } else { "queued" };
+        let entry = JobEntry {
+            tenant: tenant.to_string(),
+            benchmark: benchmark.to_string(),
+            policy: policy.to_string(),
+            fingerprint: fingerprint.to_string(),
+            status: JobStatus::Queued,
+            detail: String::new(),
+            attempts: 0,
+            resumed: false,
+            report_json: None,
+            events: vec![event_line(id, state, &[])],
+        };
+        lock_unpoisoned(&self.inner).insert(id.to_string(), entry);
+        self.cv.notify_all();
+    }
+
+    /// Marks a job running.
+    pub fn set_running(&self, id: &str) {
+        let mut inner = lock_unpoisoned(&self.inner);
+        if let Some(e) = inner.get_mut(id) {
+            e.status = JobStatus::Running;
+            e.events.push(event_line(id, "running", &[]));
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Moves a job to a terminal state. `report_json` carries the
+    /// completed report bytes; `detail` the failure description.
+    pub fn set_terminal(
+        &self,
+        id: &str,
+        status: JobStatus,
+        detail: &str,
+        attempts: u32,
+        resumed: bool,
+        report_json: Option<String>,
+    ) {
+        debug_assert!(status.terminal());
+        let mut inner = lock_unpoisoned(&self.inner);
+        if let Some(e) = inner.get_mut(id) {
+            e.status = status;
+            e.detail = detail.to_string();
+            e.attempts = attempts;
+            e.resumed = resumed;
+            let mut extra: Vec<(&str, &str)> = Vec::new();
+            if !detail.is_empty() {
+                extra.push(("detail", detail));
+            }
+            if resumed {
+                extra.push(("resumed", "true"));
+            }
+            e.events.push(event_line(id, status.name(), &extra));
+            if let Some(report) = report_json {
+                let mut o = JsonObject::new();
+                o.field_str("record", "result")
+                    .field_str("id", id)
+                    .field_raw("report", &report);
+                e.events.push(o.finish());
+                e.report_json = Some(report);
+            }
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// A snapshot of one entry.
+    pub fn get(&self, id: &str) -> Option<JobEntry> {
+        lock_unpoisoned(&self.inner).get(id).cloned()
+    }
+
+    /// Removes an entry — admission compensation only (the submission
+    /// was refused after the entry was provisionally inserted, and the
+    /// client was never acknowledged).
+    pub fn remove(&self, id: &str) {
+        lock_unpoisoned(&self.inner).remove(id);
+        self.cv.notify_all();
+    }
+
+    /// Renders one job's status object (report inline once completed).
+    pub fn status_json(&self, id: &str) -> Option<String> {
+        let inner = lock_unpoisoned(&self.inner);
+        let e = inner.get(id)?;
+        let mut o = JsonObject::new();
+        o.field_str("id", id)
+            .field_str("tenant", &e.tenant)
+            .field_str("benchmark", &e.benchmark)
+            .field_str("policy", &e.policy)
+            .field_str("fingerprint", &e.fingerprint)
+            .field_str("status", e.status.name())
+            .field_u64("attempts", u64::from(e.attempts))
+            .field_bool("resumed", e.resumed);
+        if !e.detail.is_empty() {
+            o.field_str("detail", &e.detail);
+        }
+        if let Some(report) = &e.report_json {
+            o.field_raw("report", report);
+        }
+        Some(o.finish())
+    }
+
+    /// Events after `cursor` plus whether the job is terminal (stream
+    /// can end). `None` for unknown ids.
+    pub fn events_after(&self, id: &str, cursor: usize) -> Option<(Vec<String>, bool)> {
+        let inner = lock_unpoisoned(&self.inner);
+        let e = inner.get(id)?;
+        Some((
+            e.events.iter().skip(cursor).cloned().collect(),
+            e.status.terminal(),
+        ))
+    }
+
+    /// Parks until any job changes or `timeout` elapses (event streamer
+    /// wakeup; spurious wakeups are fine, callers re-check their cursor).
+    pub fn wait_update(&self, timeout: Duration) {
+        let inner = lock_unpoisoned(&self.inner);
+        let _ = self
+            .cv
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+    }
+
+    /// Per-status counts over all jobs.
+    pub fn counts(&self) -> HashMap<&'static str, u64> {
+        let inner = lock_unpoisoned(&self.inner);
+        let mut counts = HashMap::new();
+        for e in inner.values() {
+            *counts.entry(e.status.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Renders the `GET /jobs` listing: ids sorted by numeric suffix,
+    /// one summary object per job, plus status counts.
+    pub fn list_json(&self) -> String {
+        let inner = lock_unpoisoned(&self.inner);
+        let mut ids: Vec<&String> = inner.keys().collect();
+        ids.sort_by_key(|id| id[1..].parse::<u64>().unwrap_or(u64::MAX));
+        let mut jobs = String::from("[");
+        for (i, id) in ids.iter().enumerate() {
+            if i > 0 {
+                jobs.push(',');
+            }
+            let e = &inner[*id];
+            let mut o = JsonObject::new();
+            o.field_str("id", id)
+                .field_str("tenant", &e.tenant)
+                .field_str("benchmark", &e.benchmark)
+                .field_str("policy", &e.policy)
+                .field_str("status", e.status.name());
+            jobs.push_str(&o.finish());
+        }
+        jobs.push(']');
+        let mut counts: Vec<(&str, u64)> = {
+            let mut m = HashMap::new();
+            for e in inner.values() {
+                *m.entry(e.status.name()).or_insert(0u64) += 1;
+            }
+            m.into_iter().collect()
+        };
+        counts.sort();
+        let mut counts_obj = String::from("{");
+        for (i, (k, v)) in counts.iter().enumerate() {
+            if i > 0 {
+                counts_obj.push(',');
+            }
+            counts_obj.push_str(&format!("\"{k}\":{v}"));
+        }
+        counts_obj.push('}');
+        let mut o = JsonObject::new();
+        o.field_raw("jobs", &jobs).field_raw("counts", &counts_obj);
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_events_accumulate_in_order() {
+        let t = JobsTable::new();
+        let id = t.next_id();
+        assert_eq!(id, "j1");
+        t.insert_queued(&id, "acme", "xapian", "M:1", "fp", false);
+        t.set_running(&id);
+        t.set_terminal(
+            &id,
+            JobStatus::Completed,
+            "",
+            1,
+            false,
+            Some("{\"x\":1}".into()),
+        );
+        let (events, terminal) = t.events_after(&id, 0).unwrap();
+        assert!(terminal);
+        assert_eq!(events.len(), 4);
+        assert!(events[0].contains("\"queued\""));
+        assert!(events[1].contains("\"running\""));
+        assert!(events[2].contains("\"completed\""));
+        assert!(events[3].contains("\"result\""));
+        let (tail, _) = t.events_after(&id, 3).unwrap();
+        assert_eq!(tail.len(), 1);
+        let status = t.status_json(&id).unwrap();
+        assert!(status.contains("\"report\":{\"x\":1}"));
+    }
+
+    #[test]
+    fn id_reservation_prevents_recovery_collisions() {
+        let t = JobsTable::new();
+        t.reserve_ids_through(5);
+        assert_eq!(t.next_id(), "j6");
+    }
+}

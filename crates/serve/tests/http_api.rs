@@ -1,0 +1,273 @@
+//! End-to-end API tests over real TCP: typed admission control, the
+//! byte-exact report contract, lifecycle event streaming, cooperative
+//! cancellation, token auth, and the Prometheus endpoint.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use emissary_bench::PoolOptions;
+use emissary_obs::parse_prometheus;
+use emissary_serve::{JobSpec, QueueLimits, ServeConfig, Server};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("emissary_serve_http_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cfg(dir: &Path, depth: usize, inflight: usize, tokens: Vec<(String, String)>) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        dir: dir.to_path_buf(),
+        limits: QueueLimits {
+            depth,
+            tenant_inflight: inflight,
+        },
+        max_conns: 32,
+        max_body: 4096,
+        io_timeout: Duration::from_secs(10),
+        tokens,
+        pool: PoolOptions::with_workers(1),
+    }
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    token: Option<&str>,
+) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    if let Some(t) = token {
+        req.push_str(&format!("Authorization: Bearer {t}\r\n"));
+    }
+    match body {
+        Some(b) => req.push_str(&format!("Content-Length: {}\r\n\r\n{b}", b.len())),
+        None => req.push_str("\r\n"),
+    }
+    s.write_all(req.as_bytes()).unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let code = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (code, payload)
+}
+
+/// Extracts `"id":"..."` from a 201 body.
+fn id_of(body: &str) -> String {
+    let tail = body.split("\"id\":\"").nth(1).unwrap();
+    tail.split('"').next().unwrap().to_string()
+}
+
+fn wait_status(addr: SocketAddr, id: &str, status: &str) -> String {
+    let needle = format!("\"status\":\"{status}\"");
+    for _ in 0..600 {
+        let (code, body) = request(addr, "GET", &format!("/jobs/{id}"), None, None);
+        assert_eq!(code, 200, "job {id} vanished: {body}");
+        if body.contains(&needle) {
+            return body;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    panic!("job {id} never reached {status}");
+}
+
+const SMALL_SPEC: &str =
+    r#"{"benchmark":"xapian","policy":"M:1","warmup_instrs":1000,"measure_instrs":5000,"seed":7}"#;
+
+#[test]
+fn health_routing_and_typed_rejections() {
+    let dir = tmpdir("typed");
+    let server = Server::start(cfg(&dir, 4, 4, Vec::new())).unwrap();
+    let addr = server.addr();
+
+    assert_eq!(request(addr, "GET", "/healthz", None, None).0, 200);
+    assert_eq!(request(addr, "GET", "/readyz", None, None).0, 200);
+    assert_eq!(request(addr, "GET", "/nope", None, None).0, 404);
+    assert_eq!(request(addr, "PUT", "/jobs", None, None).0, 405);
+    assert_eq!(request(addr, "GET", "/jobs/j999", None, None).0, 404);
+    assert_eq!(request(addr, "DELETE", "/jobs/j999", None, None).0, 404);
+
+    let (code, body) = request(addr, "POST", "/jobs", Some("not json"), None);
+    assert_eq!(code, 400);
+    assert!(body.contains("invalid_spec"), "{body}");
+    let (code, _) = request(
+        addr,
+        "POST",
+        "/jobs",
+        Some(r#"{"benchmark":"nope","policy":"M:1"}"#),
+        None,
+    );
+    assert_eq!(code, 400);
+    let big = format!(r#"{{"benchmark":"{}","policy":"M:1"}}"#, "x".repeat(8000));
+    assert_eq!(request(addr, "POST", "/jobs", Some(&big), None).0, 413);
+
+    let summary = server.join();
+    assert_eq!(summary.accepted, 0);
+
+    // A zero-depth queue refuses every submission with a typed 429.
+    let dir2 = tmpdir("full");
+    let server = Server::start(cfg(&dir2, 0, 4, Vec::new())).unwrap();
+    let (code, body) = request(server.addr(), "POST", "/jobs", Some(SMALL_SPEC), None);
+    assert_eq!(code, 429);
+    assert!(body.contains("queue_full"), "{body}");
+    let summary = server.join();
+    assert_eq!(summary.rejected, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+#[test]
+fn accepted_job_completes_with_byte_exact_report() {
+    let dir = tmpdir("report");
+    let server = Server::start(cfg(&dir, 8, 8, Vec::new())).unwrap();
+    let addr = server.addr();
+
+    let (code, body) = request(addr, "POST", "/jobs", Some(SMALL_SPEC), None);
+    assert_eq!(code, 201, "{body}");
+    let id = id_of(&body);
+    let status = wait_status(addr, &id, "completed");
+    assert!(status.contains("\"attempts\":1"), "{status}");
+
+    let (code, served) = request(addr, "GET", &format!("/jobs/{id}/report"), None, None);
+    assert_eq!(code, 200);
+    // The served bytes must be exactly what a direct in-process run of
+    // the same spec produces.
+    let expected = JobSpec::parse(SMALL_SPEC)
+        .unwrap()
+        .build()
+        .unwrap()
+        .run_observed()
+        .report
+        .to_json();
+    assert_eq!(served, expected);
+
+    // The lifecycle event stream replays the full history and terminates.
+    let (code, events) = request(addr, "GET", &format!("/jobs/{id}/events"), None, None);
+    assert_eq!(code, 200);
+    let lines: Vec<&str> = events.lines().collect();
+    assert_eq!(lines.len(), 4, "{events}");
+    assert!(lines[0].contains("\"queued\""));
+    assert!(lines[1].contains("\"running\""));
+    assert!(lines[2].contains("\"completed\""));
+    assert!(lines[3].contains("\"record\":\"result\""));
+
+    // Resubmitting the identical spec replays from the checkpoint memo.
+    let (code, body) = request(addr, "POST", "/jobs", Some(SMALL_SPEC), None);
+    assert_eq!(code, 201);
+    let dup = id_of(&body);
+    let status = wait_status(addr, &dup, "completed");
+    assert!(status.contains("\"resumed\":true"), "{status}");
+    let (_, dup_report) = request(addr, "GET", &format!("/jobs/{dup}/report"), None, None);
+    assert_eq!(dup_report, expected);
+
+    let summary = server.join();
+    assert_eq!(summary.accepted, 2);
+    assert_eq!(summary.completed, 2);
+    assert_eq!(summary.failed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queued_jobs_cancel_but_claimed_jobs_do_not() {
+    let dir = tmpdir("cancel");
+    let server = Server::start(cfg(&dir, 8, 8, Vec::new())).unwrap();
+    let addr = server.addr();
+
+    // One worker: the first (longer) job occupies it while the second
+    // sits in the queue, cancellable.
+    let busy = r#"{"benchmark":"verilator","policy":"M:1","warmup_instrs":1000,"measure_instrs":150000,"seed":3}"#;
+    let (code, body) = request(addr, "POST", "/jobs", Some(busy), None);
+    assert_eq!(code, 201, "{body}");
+    let running = id_of(&body);
+    let (code, body) = request(addr, "POST", "/jobs", Some(SMALL_SPEC), None);
+    assert_eq!(code, 201, "{body}");
+    let queued = id_of(&body);
+
+    let (code, body) = request(addr, "DELETE", &format!("/jobs/{queued}"), None, None);
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains("\"cancelled\""), "{body}");
+    let status = wait_status(addr, &queued, "cancelled");
+    assert!(status.contains("cancelled"), "{status}");
+
+    wait_status(addr, &running, "completed");
+    let (code, body) = request(addr, "DELETE", &format!("/jobs/{running}"), None, None);
+    assert_eq!(code, 409, "{body}");
+
+    let summary = server.join();
+    assert_eq!(summary.cancelled, 1);
+    assert_eq!(summary.completed, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tokens_scope_tenants_and_gate_submission() {
+    let dir = tmpdir("auth");
+    let tokens = vec![("acme".to_string(), "sekret".to_string())];
+    let server = Server::start(cfg(&dir, 8, 8, tokens)).unwrap();
+    let addr = server.addr();
+
+    assert_eq!(
+        request(addr, "POST", "/jobs", Some(SMALL_SPEC), None).0,
+        401
+    );
+    assert_eq!(
+        request(addr, "POST", "/jobs", Some(SMALL_SPEC), Some("wrong")).0,
+        401
+    );
+    let (code, body) = request(addr, "POST", "/jobs", Some(SMALL_SPEC), Some("sekret"));
+    assert_eq!(code, 201, "{body}");
+    let id = id_of(&body);
+    let status = wait_status(addr, &id, "completed");
+    assert!(status.contains("\"tenant\":\"acme\""), "{status}");
+    // Cancellation requires a token too.
+    assert_eq!(
+        request(addr, "DELETE", &format!("/jobs/{id}"), None, None).0,
+        401
+    );
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_endpoint_parses_and_counts_requests() {
+    let dir = tmpdir("metrics");
+    let server = Server::start(cfg(&dir, 8, 8, Vec::new())).unwrap();
+    let addr = server.addr();
+
+    request(addr, "GET", "/healthz", None, None);
+    let (code, text) = request(addr, "GET", "/metrics", None, None);
+    assert_eq!(code, 200);
+    let samples = parse_prometheus(&text);
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "emissary_serve_http_requests_total"),
+        "{text}"
+    );
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "emissary_serve_queue_depth"),
+        "{text}"
+    );
+
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

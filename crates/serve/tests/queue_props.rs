@@ -1,0 +1,155 @@
+//! Property tests for the fair-share admission queue's three load-bearing
+//! invariants: admission caps are never exceeded (and every refusal is
+//! typed correctly against a reference model), dispatch never starves a
+//! tenant, and a cancelled job is never claimed.
+
+use std::collections::HashMap;
+
+use emissary_serve::{AdmitError, FairQueue, QueueLimits};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const TENANTS: &[&str] = &["alpha", "beta", "gamma", "delta"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Model-based check: replay a random op sequence (submit / claim /
+    /// finish) against a plain-map reference model. Every admission
+    /// decision — acceptance and each typed refusal — must match the
+    /// model, so the global depth bound and the per-tenant unfinished
+    /// bound can never be exceeded or spuriously enforced.
+    #[test]
+    fn admission_decisions_match_the_reference_model(
+        depth in 1usize..6,
+        inflight in 1usize..4,
+        ops in vec((0u32..3, 0u32..4), 0..60),
+    ) {
+        let q = FairQueue::new(QueueLimits { depth, tenant_inflight: inflight });
+        let mut queued: HashMap<&str, usize> = HashMap::new();
+        let mut running: HashMap<&str, usize> = HashMap::new();
+        let mut next_id = 0usize;
+        for (op, t) in ops {
+            let tenant = TENANTS[t as usize];
+            match op {
+                0 => {
+                    let total_queued: usize = queued.values().sum();
+                    let unfinished = queued.get(tenant).copied().unwrap_or(0)
+                        + running.get(tenant).copied().unwrap_or(0);
+                    let id = format!("j{next_id}");
+                    next_id += 1;
+                    let got = q.submit(tenant, &id);
+                    if total_queued >= depth {
+                        prop_assert_eq!(got, Err(AdmitError::QueueFull { depth }));
+                    } else if unfinished >= inflight {
+                        prop_assert_eq!(got, Err(AdmitError::TenantSaturated { inflight }));
+                    } else {
+                        prop_assert_eq!(got, Ok(()));
+                        *queued.entry(tenant).or_insert(0) += 1;
+                    }
+                }
+                1 => {
+                    // Claim only when the model knows work exists
+                    // (`next` parks otherwise).
+                    if queued.values().sum::<usize>() > 0 {
+                        let ticket = q.next().unwrap();
+                        let who = TENANTS
+                            .iter()
+                            .position(|n| *n == ticket.tenant)
+                            .map(|i| TENANTS[i])
+                            .unwrap();
+                        let slot = queued.get_mut(who).unwrap();
+                        prop_assert!(*slot > 0);
+                        *slot -= 1;
+                        *running.entry(who).or_insert(0) += 1;
+                    }
+                }
+                _ => {
+                    if running.get(tenant).copied().unwrap_or(0) > 0 {
+                        q.done(tenant);
+                        *running.get_mut(tenant).unwrap() -= 1;
+                    }
+                }
+            }
+            prop_assert_eq!(q.queued(), queued.values().sum::<usize>());
+            prop_assert_eq!(q.running(), running.values().sum::<usize>());
+            prop_assert!(q.queued() <= depth);
+        }
+    }
+
+    /// No tenant starvation: with every job submitted up front, claims
+    /// must interleave tenants exactly round-robin in first-appearance
+    /// order — a tenant flooding the queue gets no more than one claim
+    /// per cycle while any other tenant still has work.
+    #[test]
+    fn dispatch_is_exactly_round_robin(counts in vec(1usize..5, 2..5)) {
+        let q = FairQueue::new(QueueLimits { depth: 64, tenant_inflight: 64 });
+        for (t, n) in counts.iter().enumerate() {
+            for j in 0..*n {
+                q.submit(TENANTS[t], &format!("t{t}-{j}")).unwrap();
+            }
+        }
+        let mut remaining = counts.clone();
+        let total: usize = counts.iter().sum();
+        let mut expected = Vec::with_capacity(total);
+        let mut cursor = 0usize;
+        let mut taken = vec![0usize; counts.len()];
+        while expected.len() < total {
+            for step in 0..counts.len() {
+                let t = (cursor + step) % counts.len();
+                if remaining[t] > 0 {
+                    expected.push(format!("t{t}-{}", taken[t]));
+                    taken[t] += 1;
+                    remaining[t] -= 1;
+                    cursor = (t + 1) % counts.len();
+                    break;
+                }
+            }
+        }
+        let claimed: Vec<String> = (0..total).map(|_| q.next().unwrap().id).collect();
+        prop_assert_eq!(claimed, expected);
+    }
+
+    /// Cancelled jobs are never claimed: cancel an arbitrary subset of
+    /// queued jobs, then drain the queue — no cancelled id may surface,
+    /// every survivor must, and cancelling a claimed job must fail.
+    #[test]
+    fn cancelled_jobs_are_never_executed(
+        counts in vec(1usize..5, 1..4),
+        cancel_mask in vec(any::<bool>(), 16..17),
+    ) {
+        let q = FairQueue::new(QueueLimits { depth: 64, tenant_inflight: 64 });
+        let mut all = Vec::new();
+        for (t, n) in counts.iter().enumerate() {
+            for j in 0..*n {
+                let id = format!("t{t}-{j}");
+                q.submit(TENANTS[t], &id).unwrap();
+                all.push((TENANTS[t], id));
+            }
+        }
+        let mut cancelled = Vec::new();
+        let mut kept = Vec::new();
+        for (i, (tenant, id)) in all.iter().enumerate() {
+            if cancel_mask[i % cancel_mask.len()] {
+                prop_assert!(q.cancel(tenant, id));
+                cancelled.push(id.clone());
+            } else {
+                kept.push(id.clone());
+            }
+        }
+        let mut claimed = Vec::new();
+        for _ in 0..kept.len() {
+            let ticket = q.next().unwrap();
+            // Too late to cancel once claimed.
+            prop_assert!(!q.cancel(&ticket.tenant, &ticket.id));
+            claimed.push(ticket.id);
+        }
+        prop_assert_eq!(q.queued(), 0);
+        for id in &cancelled {
+            prop_assert!(!claimed.contains(id), "cancelled job {} executed", id);
+        }
+        claimed.sort();
+        kept.sort();
+        prop_assert_eq!(claimed, kept);
+    }
+}

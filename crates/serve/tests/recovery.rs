@@ -1,0 +1,204 @@
+//! The crash-recovery drill, in-process: build the exact on-disk state a
+//! `kill -9` leaves behind (journal with a completed job, an
+//! acknowledged-but-unstarted job, and a torn half-record; checkpoint
+//! with the completed job's result), then start a real server on that
+//! directory and verify the durability contract — the unstarted job
+//! runs, the completed job replays byte-identically, and the torn line
+//! is quarantined. The CI `serve-smoke` job runs the same drill with a
+//! real SIGKILL against the release binary.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use emissary_bench::chaos::RealIo;
+use emissary_bench::checkpoint::{fingerprint, Campaign};
+use emissary_bench::metrics::worker_hub;
+use emissary_bench::{run_job, PoolOptions};
+use emissary_serve::journal::{Journal, JOURNAL_FILE, QUARANTINE_FILE};
+use emissary_serve::{JobSpec, QueueLimits, ServeConfig, Server};
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("emissary_serve_recovery_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    s.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let code = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    (
+        code,
+        raw.split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default(),
+    )
+}
+
+fn wait_completed(addr: SocketAddr, id: &str) -> String {
+    for _ in 0..600 {
+        let (code, body) = get(addr, &format!("/jobs/{id}"));
+        assert_eq!(code, 200, "job {id} missing after recovery: {body}");
+        if body.contains("\"status\":\"completed\"") {
+            return body;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    panic!("job {id} never completed after recovery");
+}
+
+#[test]
+fn killed_server_state_recovers_byte_identically() {
+    let dir = tmpdir();
+
+    let done_spec = JobSpec::parse(
+        r#"{"benchmark":"xapian","policy":"M:1","warmup_instrs":1000,"measure_instrs":5000,"seed":11}"#,
+    )
+    .unwrap();
+    let pending_spec = JobSpec::parse(
+        r#"{"benchmark":"verilator","policy":"P(8):S&E&R(1/32)","warmup_instrs":1000,"measure_instrs":5000,"seed":12}"#,
+    )
+    .unwrap();
+    let done_job = done_spec.build().unwrap();
+    let pending_job = pending_spec.build().unwrap();
+
+    // Phase 1 — what the killed process durably wrote: j1 completed
+    // (checkpointed, `done` journaled), j2 acknowledged but unstarted,
+    // plus a torn half-record from an append cut by the kill.
+    let report_before = {
+        let campaign = Campaign::begin_with("serve", &dir, true);
+        let outcome = run_job(
+            &done_job,
+            &PoolOptions::with_workers(1),
+            Some(&campaign),
+            &worker_hub(),
+            "phase1",
+        );
+        let report = outcome.run().expect("phase-1 run failed").report.to_json();
+        let (journal, recovered) = Journal::open(&dir, Box::new(RealIo), None);
+        assert!(recovered.is_empty());
+        journal
+            .append_job("j1", "public", &fingerprint(&done_job), &done_spec)
+            .unwrap();
+        journal.append_done("j1", "completed");
+        journal
+            .append_job("j2", "public", &fingerprint(&pending_job), &pending_spec)
+            .unwrap();
+        report
+    };
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join(JOURNAL_FILE))
+        .unwrap();
+    f.write_all(b"{\"record\":\"job\",\"id\":\"j3\",\"tenant\":\"pu")
+        .unwrap();
+    drop(f);
+
+    // Phase 2 — a fresh server over the crashed state.
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        dir: dir.clone(),
+        limits: QueueLimits {
+            depth: 8,
+            tenant_inflight: 8,
+        },
+        max_conns: 32,
+        max_body: 4096,
+        io_timeout: Duration::from_secs(10),
+        tokens: Vec::new(),
+        pool: PoolOptions::with_workers(1),
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // j1 replays from the checkpoint without re-executing…
+    let status = wait_completed(addr, "j1");
+    assert!(status.contains("\"resumed\":true"), "{status}");
+    assert!(status.contains("\"attempts\":0"), "{status}");
+    // …byte-identically.
+    let (code, report_after) = get(addr, "/jobs/j1/report");
+    assert_eq!(code, 200);
+    assert_eq!(report_after, report_before);
+
+    // j2 — acknowledged before the kill — actually executes now.
+    let status = wait_completed(addr, "j2");
+    assert!(status.contains("\"resumed\":false"), "{status}");
+    assert!(status.contains("\"attempts\":1"), "{status}");
+
+    // The torn j3 record is quarantined, not silently dropped.
+    let quarantine = std::fs::read_to_string(dir.join(QUARANTINE_FILE)).unwrap();
+    assert!(quarantine.contains("\"j3\""), "{quarantine}");
+
+    // New ids never collide with journaled ones.
+    let next = emissary_serve::JobsTable::new();
+    next.reserve_ids_through(2);
+    assert_eq!(next.next_id(), "j3");
+
+    let summary = server.join();
+    assert_eq!(summary.recovered, 2);
+    assert_eq!(summary.quarantined, 1);
+    assert_eq!(summary.completed, 2);
+    assert_eq!(summary.failed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A second kill between the restart and j2's completion must converge to
+/// the same state: restart again, everything replays, nothing re-runs
+/// twice with different bytes.
+#[test]
+fn double_restart_converges() {
+    let dir = std::env::temp_dir().join(format!(
+        "emissary_serve_recovery_double_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let spec = JobSpec::parse(
+        r#"{"benchmark":"xapian","policy":"M:1","warmup_instrs":1000,"measure_instrs":5000,"seed":21}"#,
+    )
+    .unwrap();
+    let job = spec.build().unwrap();
+    {
+        let (journal, _) = Journal::open(&dir, Box::new(RealIo), None);
+        journal
+            .append_job("j1", "public", &fingerprint(&job), &spec)
+            .unwrap();
+    }
+
+    let mut reports = Vec::new();
+    for _ in 0..2 {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            dir: dir.clone(),
+            limits: QueueLimits {
+                depth: 8,
+                tenant_inflight: 8,
+            },
+            max_conns: 32,
+            max_body: 4096,
+            io_timeout: Duration::from_secs(10),
+            tokens: Vec::new(),
+            pool: PoolOptions::with_workers(1),
+        })
+        .unwrap();
+        wait_completed(server.addr(), "j1");
+        let (code, report) = get(server.addr(), "/jobs/j1/report");
+        assert_eq!(code, 200);
+        reports.push(report);
+        server.join();
+    }
+    assert_eq!(reports[0], reports[1]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,32 @@
+//! `emissary-serve` — the crash-safe campaign job server daemon.
+//!
+//! Runs until SIGINT/SIGTERM, then drains: admission stops (503), running
+//! jobs finish and checkpoint, queued jobs stay journaled for the next
+//! process. A second signal during the drain escalates to an immediate
+//! checkpoint-safe exit (code 131). See `emissary_serve` crate docs for
+//! the API and environment knobs.
+
+use std::time::Duration;
+
+use emissary_bench::chaos;
+use emissary_serve::{ServeConfig, Server};
+
+fn main() {
+    chaos::install_signal_handlers();
+    chaos::spawn_escalation_watcher("serve");
+    let cfg = ServeConfig::from_env();
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    while !chaos::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("serve: shutdown requested; draining (second signal forces immediate exit)");
+    server.begin_drain();
+    let summary = server.join();
+    println!("{}", summary.line());
+}
