@@ -14,6 +14,15 @@
 //! `EMISSARY_WARMUP_INSNS` knobs. Requires metrics (the default); under
 //! `EMISSARY_METRICS=0` the stage totals would all be zero, so the
 //! harness refuses to run.
+//!
+//! MIPS here is **wall-clock** throughput (committed instructions over
+//! round wall time), so it reflects what more threads actually buy.
+//! Each round past the first also records `parallel_efficiency` —
+//! speedup over the first round divided by the thread ratio. With
+//! `EMISSARY_SCALING_GATE=<x>` set, the harness exits 3 if any later
+//! round's MIPS falls below `x ×` the first round's — CI runs the 1- and
+//! 2-thread rounds under `EMISSARY_SCALING_GATE=1.0` as a regression
+//! tripwire.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -55,14 +64,25 @@ impl Round {
         }
     }
 
-    fn to_json(&self) -> String {
+    /// Speedup over the base round divided by the thread ratio: 1.0 is
+    /// perfect linear scaling, below 1.0 is contention or serial tail.
+    fn parallel_efficiency(&self, base: &Round) -> f64 {
+        if base.mips() > 0.0 && base.threads > 0 && self.threads > 0 {
+            (self.mips() / base.mips()) / (self.threads as f64 / base.threads as f64)
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self, base: &Round) -> String {
         let mut obj = JsonObject::new();
         obj.field_u64("threads", self.threads as u64)
             .field_u64("jobs", self.jobs as u64)
             .field_f64("wall_seconds", self.wall_seconds)
             .field_f64("host_seconds", self.host_seconds)
             .field_u64("committed", self.committed)
-            .field_f64("mips", self.mips());
+            .field_f64("mips", self.mips())
+            .field_f64("parallel_efficiency", self.parallel_efficiency(base));
         for (stage, secs) in &self.stage_seconds {
             obj.field_f64(&format!("{stage}_seconds"), *secs);
         }
@@ -72,6 +92,15 @@ impl Round {
             .field_str("prom", &self.prom);
         obj.finish()
     }
+}
+
+/// The `EMISSARY_SCALING_GATE` threshold: minimum fraction of the first
+/// round's MIPS every later round must reach (unset disables the gate).
+fn scaling_gate() -> Option<f64> {
+    std::env::var("EMISSARY_SCALING_GATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&g: &f64| g > 0.0)
 }
 
 /// Thread counts to measure: CLI arguments, or `1 2 4 <parallelism>`
@@ -151,7 +180,10 @@ fn write_snapshot(path: &str, snapshot: &[Metric]) {
 }
 
 fn write_json(rounds: &[Round]) -> std::io::Result<()> {
-    let entries: Vec<String> = rounds.iter().map(Round::to_json).collect();
+    let Some(base) = rounds.first() else {
+        return Ok(());
+    };
+    let entries: Vec<String> = rounds.iter().map(|r| r.to_json(base)).collect();
     let mut obj = JsonObject::new();
     obj.field_str("benchmark", "scaling")
         .field_u64("warmup_instrs", scale::warmup_instrs())
@@ -180,11 +212,16 @@ fn main() {
     for job in &jobs {
         let _ = job.profile.shared_program();
     }
-    let mut rounds = Vec::new();
+    let mut rounds: Vec<Round> = Vec::new();
     for &threads in &counts {
         let round = run_round(&jobs, threads);
+        let eff = rounds
+            .first()
+            .map(|b| round.parallel_efficiency(b))
+            .unwrap_or(1.0);
         eprintln!(
-            "bench_scaling: threads={} wall={:.1}s mips={:.2} util={:.0}% measure={:.1}s",
+            "bench_scaling: threads={} wall={:.1}s mips={:.2} eff={eff:.2} util={:.0}% \
+             measure={:.1}s",
             round.threads,
             round.wall_seconds,
             round.mips(),
@@ -204,5 +241,27 @@ fn main() {
             eprintln!("bench_scaling: cannot write BENCH_scaling.json: {e}");
             std::process::exit(1);
         }
+    }
+    // Regression gate: every round past the first must hold at least
+    // `gate ×` the first round's wall-clock MIPS. The JSON is written
+    // first so a failing run still leaves its evidence on disk.
+    if let (Some(gate), Some(base)) = (scaling_gate(), rounds.first()) {
+        for r in &rounds[1..] {
+            if r.mips() < gate * base.mips() {
+                eprintln!(
+                    "bench_scaling: GATE FAILED: {} thread(s) ran {:.2} MIPS, below {gate:.2}x \
+                     of the {}-thread round's {:.2} MIPS",
+                    r.threads,
+                    r.mips(),
+                    base.threads,
+                    base.mips()
+                );
+                std::process::exit(3);
+            }
+        }
+        eprintln!(
+            "bench_scaling: gate passed (every round >= {gate:.2}x of the {}-thread round)",
+            base.threads
+        );
     }
 }

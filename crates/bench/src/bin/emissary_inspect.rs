@@ -454,10 +454,12 @@ fn analyze_scaling(
         } else {
             0.0
         };
-        let eff = if threads > 0.0 {
-            speedup / (threads / base_threads)
-        } else {
-            0.0
+        // Prefer the recorded parallel_efficiency field (newer files);
+        // recompute from mips/threads for files that predate it.
+        let eff = match e.get("parallel_efficiency").and_then(JsonValue::as_f64) {
+            Some(v) if v > 0.0 => v,
+            _ if threads > 0.0 => speedup / (threads / base_threads),
+            _ => 0.0,
         };
         let _ = writeln!(
             out,

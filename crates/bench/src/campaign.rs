@@ -31,26 +31,33 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::chaos::lock_unpoisoned;
 use crate::checkpoint::{self, Campaign};
 use crate::pool::{run_parallel_outcomes_hooked, JobOutcome, PoolOptions};
+use crate::shard::SlotRegistry;
 use crate::{scale, Job};
 
 /// Host-throughput estimates feeding the scheduler: observed MIPS per
 /// benchmark (updated as jobs complete), with a footprint-scaled fallback
 /// for benchmarks not yet measured.
+///
+/// Observations accumulate in lock-free [`SlotRegistry`] slots as
+/// fixed-point milli-MIPS (cell A = scaled sum, cell B = count), so
+/// workers recording a finished run never contend on a mutex.
 #[derive(Debug, Default)]
 pub struct CostModel {
-    /// benchmark name → (sum of observed MIPS, number of observations).
-    observed: Mutex<std::collections::HashMap<String, (f64, u64)>>,
+    /// benchmark name → (sum of observed milli-MIPS, observation count).
+    observed: SlotRegistry,
 }
 
 /// Baseline host MIPS assumed for a small-footprint benchmark before any
 /// observation (the `BENCH_throughput.json` xapian figure, rounded down).
 const FALLBACK_MIPS: f64 = 2.5;
+
+/// Fixed-point scale for observed MIPS (milli-MIPS). At ~1e3 MIPS max,
+/// the scaled sum overflows `u64` after ~1e13 observations — unreachable.
+const MIPS_SCALE: f64 = 1_000.0;
 
 impl CostModel {
     /// An empty model (footprint fallback for every benchmark).
@@ -65,19 +72,16 @@ impl CostModel {
         if mips <= 0.0 {
             return;
         }
-        let mut map = lock_unpoisoned(&self.observed);
-        let entry = map.entry(benchmark.to_string()).or_insert((0.0, 0));
-        entry.0 += mips;
-        entry.1 += 1;
+        self.observed
+            .add_pair(benchmark, (mips * MIPS_SCALE).round() as u64, 1);
     }
 
     /// The model's current MIPS estimate for a benchmark: mean of the
     /// observations, else the footprint fallback (bigger instruction
     /// footprints miss more and simulate slower).
     pub fn mips(&self, benchmark: &str, code_kb: u32) -> f64 {
-        let map = lock_unpoisoned(&self.observed);
-        match map.get(benchmark) {
-            Some(&(sum, n)) if n > 0 => sum / n as f64,
+        match self.observed.get_pair(benchmark) {
+            Some((sum_milli, n)) if n > 0 => sum_milli as f64 / MIPS_SCALE / n as f64,
             _ => FALLBACK_MIPS / (1.0 + f64::from(code_kb) / 2048.0),
         }
     }
@@ -139,7 +143,9 @@ pub struct PrefetchSummary {
     pub wall_seconds: f64,
 }
 
-/// Shared state behind the stderr progress line.
+/// Shared state behind the stderr progress line. Entirely atomic — the
+/// per-job tick never takes a lock, so progress accounting cannot become
+/// a worker convoy point.
 struct Progress<'m> {
     total: usize,
     done: AtomicUsize,
@@ -149,7 +155,9 @@ struct Progress<'m> {
     done_cost_us: AtomicU64,
     total_cost_us: u64,
     started: Instant,
-    last_line: Mutex<Instant>,
+    /// Milliseconds since `started` when the last line printed; updated
+    /// by CAS so exactly one worker claims each print interval.
+    last_line_ms: AtomicU64,
     enabled: bool,
     model: &'m CostModel,
 }
@@ -160,15 +168,14 @@ impl<'m> Progress<'m> {
             .iter()
             .map(|j| (model.estimate_seconds(j) * 1e6) as u64)
             .sum();
-        let now = Instant::now();
         Progress {
             total: jobs.len(),
             done: AtomicUsize::new(0),
             replayed: AtomicUsize::new(0),
             done_cost_us: AtomicU64::new(0),
             total_cost_us,
-            started: now,
-            last_line: Mutex::new(now),
+            started: Instant::now(),
+            last_line_ms: AtomicU64::new(0),
             enabled,
             model,
         }
@@ -195,13 +202,21 @@ impl<'m> Progress<'m> {
             return;
         }
         // One line per second at most (plus the final one), so a
-        // thousand-job sweep does not drown stderr.
-        let mut last = lock_unpoisoned(&self.last_line);
-        if done < self.total && last.elapsed().as_secs_f64() < 1.0 {
-            return;
+        // thousand-job sweep does not drown stderr. The throttle is a
+        // CAS on a millisecond timestamp: losers of the race (too soon,
+        // or another worker claimed the interval) return without a lock.
+        let now_ms = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        if done < self.total {
+            let last = self.last_line_ms.load(Ordering::Relaxed);
+            if now_ms < last.saturating_add(1_000)
+                || self
+                    .last_line_ms
+                    .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_err()
+            {
+                return;
+            }
         }
-        *last = Instant::now();
-        drop(last);
         let elapsed = self.started.elapsed().as_secs_f64();
         let done_cost = self.done_cost_us.load(Ordering::Relaxed);
         let eta = if done_cost > 0 && elapsed > 0.0 {

@@ -33,7 +33,6 @@
 //! byte-identical to an unchaosed run — the decision layer itself never
 //! touches simulation state.
 
-use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
@@ -41,6 +40,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::checkpoint::fnv1a64;
+use crate::shard::SlotRegistry;
 use crate::FaultInjection;
 
 /// Environment variable: chaos seed. Setting it (to any u64) enables
@@ -83,7 +83,14 @@ pub struct FaultPlan {
     seed: u64,
     /// Probability scaled to parts-per-million.
     rate_ppm: u64,
-    counters: Mutex<HashMap<String, u64>>,
+    /// Per-site call counters. A lock-free slot registry rather than a
+    /// `Mutex<HashMap>`: with chaos enabled this sits on the fault-site
+    /// path of *every* checkpoint/journal/trace I/O call, so workers
+    /// must not serialize on it. Each site's counter stays gap-free
+    /// (`fetch_add`), so the decision sequence per site is still a pure
+    /// function of the seed — only which caller observes which decision
+    /// depends on scheduling, exactly as before.
+    counters: SlotRegistry,
     injected: AtomicU64,
 }
 
@@ -103,7 +110,7 @@ impl FaultPlan {
         Self {
             seed,
             rate_ppm,
-            counters: Mutex::new(HashMap::new()),
+            counters: SlotRegistry::new(),
             injected: AtomicU64::new(0),
         }
     }
@@ -151,13 +158,7 @@ impl FaultPlan {
     /// The decision sequence at each site is deterministic; which caller
     /// observes which decision depends on thread interleaving.
     pub fn fires(&self, site: &str) -> bool {
-        let key = {
-            let mut counters = lock_unpoisoned(&self.counters);
-            let c = counters.entry(site.to_string()).or_insert(0);
-            let key = *c;
-            *c += 1;
-            key
-        };
+        let key = self.counters.fetch_add(site, 1);
         self.fires_keyed(site, key)
     }
 
@@ -521,6 +522,26 @@ mod tests {
         // A different seed disagrees somewhere in 64 draws at rate 0.25.
         let c = FaultPlan::new(43, 0.25);
         assert_ne!(decisions(&a), decisions(&c));
+    }
+
+    #[test]
+    fn concurrent_fires_consume_each_key_exactly_once() {
+        // 8 threads × 32 calls share one site. The per-site atomic
+        // counter must hand out keys 0..256 with no gaps or repeats, so
+        // the *number* of injected faults equals the pure-function count
+        // regardless of interleaving (schedule independence).
+        let p = FaultPlan::new(9, 0.5);
+        let hits: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| (0..32).filter(|_| p.fires("ckpt.append")).count()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        let expected = (0..256u64)
+            .filter(|&k| p.would_fire("ckpt.append", k))
+            .count();
+        assert_eq!(hits, expected);
+        assert_eq!(p.injected(), expected as u64);
     }
 
     #[test]

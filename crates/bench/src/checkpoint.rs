@@ -46,8 +46,8 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 use emissary_obs::{jsonl_lines, JsonObject, JsonValue};
 use emissary_sim::{SimReport, SimRun};
@@ -126,18 +126,182 @@ pub(crate) fn note_failed() {
 
 /// One campaign's dedup state: the fingerprint → run memo (seeded from
 /// the checkpoint file on resume, grown by every fresh completion) plus
-/// an append-only writer shared by the worker threads. All filesystem
-/// access goes through the campaign's [`CkptIo`], so chaos and tests can
-/// interpose on every operation.
+/// a **single-writer drain thread** that owns the `BufWriter` and the
+/// campaign's [`CkptIo`]. Workers never touch the writer: [`record`]
+/// inserts into a lock-striped memo (16 stripes keyed by the
+/// fingerprint hash, so concurrent completions of different jobs rarely
+/// share a stripe) and sends a pre-rendered record down an unbounded
+/// channel; the drain thread appends and flushes in arrival order.
+/// [`sync`] is the durability barrier: it round-trips a flush token
+/// through the channel, so when it returns every previously sent record
+/// is on disk — the pool calls it before returning, and the serve layer
+/// calls it before journaling a job done (journal-before-ack holds at
+/// the drain point).
+///
+/// [`record`]: Campaign::record
+/// [`sync`]: Campaign::sync
 pub struct Campaign {
     path: PathBuf,
     quarantine_path: PathBuf,
-    io: Box<dyn CkptIo>,
-    memo: Mutex<HashMap<String, SimRun>>,
+    memo: [Mutex<HashMap<String, SimRun>>; MEMO_STRIPES],
     loaded: usize,
     quarantined: u64,
-    writer: Mutex<Option<BufWriter<fs::File>>>,
-    experiment: Mutex<String>,
+    /// False once the campaign is memo-only (writer failed at open, or
+    /// the drain thread dropped it after an unsalvageable append).
+    persistent: Arc<AtomicBool>,
+    /// Records the drain thread has processed (appended or, in
+    /// memo-only mode, discarded).
+    drained: Arc<AtomicU64>,
+    tx: Option<mpsc::Sender<DrainMsg>>,
+    drain: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Memo stripe count. Power of two; 16 stripes keep completions of
+/// different fingerprints off each other's locks without bloating an
+/// idle campaign.
+const MEMO_STRIPES: usize = 16;
+
+/// What workers send to the drain thread. Records carry their JSON
+/// payload pre-rendered (report + samples serialization is the
+/// expensive part and parallelizes in the workers); the drain thread
+/// owns the current experiment label and assembles the final line.
+enum DrainMsg {
+    Record(CkptRecord),
+    SetExperiment(String),
+    /// Durability barrier: ack after everything before it is flushed.
+    Flush(mpsc::SyncSender<()>),
+}
+
+/// One checkpoint record, rendered on the worker except for the
+/// experiment label (drain-thread state).
+struct CkptRecord {
+    fp: String,
+    benchmark: String,
+    policy: String,
+    status: &'static str,
+    attempts: u32,
+    payload: RecordPayload,
+}
+
+enum RecordPayload {
+    Completed {
+        report_json: String,
+        samples_json: String,
+        host_seconds: f64,
+        warmup_seconds: f64,
+        measure_seconds: f64,
+    },
+    Failed {
+        error: String,
+    },
+}
+
+impl CkptRecord {
+    fn from_outcome(fp: &str, outcome: &JobOutcome) -> CkptRecord {
+        let payload = match outcome {
+            JobOutcome::Completed { run, .. } => {
+                let samples: Vec<String> = run.samples.iter().map(|s| s.to_json()).collect();
+                RecordPayload::Completed {
+                    report_json: run.report.to_json(),
+                    samples_json: format!("[{}]", samples.join(",")),
+                    host_seconds: run.host_seconds,
+                    warmup_seconds: run.warmup_seconds,
+                    measure_seconds: run.measure_seconds,
+                }
+            }
+            failed => RecordPayload::Failed {
+                error: failed.describe(),
+            },
+        };
+        CkptRecord {
+            fp: fp.to_string(),
+            benchmark: outcome.benchmark().to_string(),
+            policy: outcome.policy().to_string(),
+            status: outcome.status(),
+            attempts: outcome.attempts(),
+            payload,
+        }
+    }
+
+    fn render(&self, experiment: &str) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_str("record", "ckpt")
+            .field_str("fingerprint", &self.fp)
+            .field_str("experiment", experiment)
+            .field_str("benchmark", &self.benchmark)
+            .field_str("policy", &self.policy)
+            .field_str("status", self.status)
+            .field_u64("attempts", u64::from(self.attempts));
+        match &self.payload {
+            RecordPayload::Completed {
+                report_json,
+                samples_json,
+                host_seconds,
+                warmup_seconds,
+                measure_seconds,
+            } => {
+                obj.field_raw("report", report_json);
+                obj.field_raw("samples", samples_json);
+                // Timing fields stay last: the chaos byte-identity test
+                // (and any reader comparing records sans wall-clock
+                // noise) strips the record tail starting at
+                // `host_seconds`.
+                obj.field_raw("host_seconds", &format!("{host_seconds:.6}"));
+                obj.field_raw("warmup_seconds", &format!("{warmup_seconds:.6}"));
+                obj.field_raw("measure_seconds", &format!("{measure_seconds:.6}"));
+            }
+            RecordPayload::Failed { error } => {
+                obj.field_str("error", error);
+            }
+        }
+        obj.finish()
+    }
+}
+
+/// The drain thread: sole owner of the writer and the [`CkptIo`].
+/// Append failures degrade exactly as the old in-line path did — log a
+/// `ckpt_error`, terminate the torn line with a bare newline, and drop
+/// to memo-only if even that fails. Must never panic: the pool and the
+/// serve layer block on [`Campaign::sync`] acks.
+fn drain_loop(
+    rx: &mpsc::Receiver<DrainMsg>,
+    io: &dyn CkptIo,
+    mut writer: Option<BufWriter<fs::File>>,
+    path: &Path,
+    mut experiment: String,
+    persistent: &AtomicBool,
+    drained: &AtomicU64,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            DrainMsg::SetExperiment(name) => experiment = name,
+            DrainMsg::Flush(ack) => {
+                // Appends flush per line; this catches a salvage newline
+                // that may still sit in the BufWriter.
+                if let Some(w) = writer.as_mut() {
+                    let _ = w.flush();
+                }
+                let _ = ack.send(());
+            }
+            DrainMsg::Record(rec) => {
+                drained.fetch_add(1, Ordering::Relaxed);
+                let Some(w) = writer.as_mut() else { continue };
+                let line = rec.render(&experiment);
+                if let Err(e) = io.append_line(w, &line) {
+                    crate::results::log_ckpt_error(path, "append", &e);
+                    eprintln!("checkpoint: write to {} failed: {e}", path.display());
+                    // Terminate whatever prefix landed so the *next*
+                    // record gets its own line; the torn one quarantines
+                    // on resume.
+                    let salvage = w.write_all(b"\n").and_then(|()| w.flush());
+                    if salvage.is_err() {
+                        writer = None; // memo-only from here on
+                        persistent.store(false, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Campaign {
@@ -162,7 +326,7 @@ impl Campaign {
     pub fn begin_with_io(name: &str, dir: &Path, resume: bool, io: Box<dyn CkptIo>) -> Campaign {
         let path = dir.join(format!("{name}.ckpt.jsonl"));
         let quarantine_path = dir.join(format!("{name}.ckpt.quarantine"));
-        let (memo, quarantined) = if resume {
+        let (loaded_memo, quarantined) = if resume {
             salvage_checkpoint(&*io, &path, &quarantine_path)
         } else {
             (HashMap::new(), 0)
@@ -183,15 +347,40 @@ impl Campaign {
                 None
             }
         };
+        let loaded = loaded_memo.len();
+        let memo: [Mutex<HashMap<String, SimRun>>; MEMO_STRIPES] =
+            std::array::from_fn(|_| Mutex::new(HashMap::new()));
+        for (fp, run) in loaded_memo {
+            lock_unpoisoned(&memo[stripe_of(&fp)]).insert(fp, run);
+        }
+        // `persistent` reflects the writer synchronously at open time —
+        // memo-only degradation must be observable before any record is
+        // drained.
+        let persistent = Arc::new(AtomicBool::new(writer.is_some()));
+        let drained = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        let drain = {
+            let path = path.clone();
+            let experiment = name.to_string();
+            let persistent = Arc::clone(&persistent);
+            let drained = Arc::clone(&drained);
+            std::thread::Builder::new()
+                .name("ckpt-drain".into())
+                .spawn(move || {
+                    drain_loop(&rx, &*io, writer, &path, experiment, &persistent, &drained);
+                })
+                .expect("spawn checkpoint drain thread")
+        };
         Campaign {
             path,
             quarantine_path,
-            io,
-            loaded: memo.len(),
+            memo,
+            loaded,
             quarantined,
-            memo: Mutex::new(memo),
-            writer: Mutex::new(writer),
-            experiment: Mutex::new(name.to_string()),
+            persistent,
+            drained,
+            tx: Some(tx),
+            drain: Some(drain),
         }
     }
 
@@ -219,83 +408,83 @@ impl Campaign {
     /// Whether outcomes are persisting to the checkpoint file (false
     /// after degradation to memo-only mode).
     pub fn persistent(&self) -> bool {
-        lock_unpoisoned(&self.writer).is_some()
+        self.persistent.load(Ordering::Relaxed)
     }
 
     /// Number of completed jobs currently replayable (loaded + fresh).
     pub fn memoized(&self) -> usize {
-        lock_unpoisoned(&self.memo).len()
+        self.memo.iter().map(|s| lock_unpoisoned(s).len()).sum()
+    }
+
+    /// Number of records the drain thread has processed so far.
+    pub fn drained_records(&self) -> u64 {
+        self.drained.load(Ordering::Relaxed)
     }
 
     /// Relabels the experiment recorded on subsequent checkpoint lines.
-    /// Metadata only: the memo and fingerprints are unaffected.
+    /// Metadata only: the memo and fingerprints are unaffected. The
+    /// relabel travels through the drain channel, so it applies to
+    /// exactly the records sent after it.
     pub fn set_experiment(&self, name: &str) {
-        *lock_unpoisoned(&self.experiment) = name.to_string();
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(DrainMsg::SetExperiment(name.to_string()));
+        }
     }
 
     /// Looks up a completed run for this fingerprint.
     pub fn cached(&self, fp: &str) -> Option<SimRun> {
-        lock_unpoisoned(&self.memo).get(fp).cloned()
+        lock_unpoisoned(&self.memo[stripe_of(fp)]).get(fp).cloned()
     }
 
-    /// Appends one outcome record and flushes, so a killed campaign loses
-    /// at most the record being written (and a torn tail line is
-    /// quarantined on resume). Completed runs also enter the in-process
-    /// memo, making them replayable by every later experiment in the
-    /// process.
+    /// Records one outcome: completed runs enter the in-process memo
+    /// synchronously (read-your-writes — a duplicate submission replays
+    /// the instant this returns), and the rendered record is queued for
+    /// the drain thread, which appends and flushes it in order.
+    /// Durability is deferred to [`Campaign::sync`]; a killed campaign
+    /// loses at most the records not yet synced, which resume re-runs.
     ///
-    /// A failed append logs a `ckpt_error` record and tries to terminate
-    /// the (possibly torn) line with a bare newline so the next record
-    /// starts clean; if even that fails the writer is dropped and the
-    /// campaign continues memo-only.
+    /// A failed append in the drain thread logs a `ckpt_error` record
+    /// and tries to terminate the (possibly torn) line with a bare
+    /// newline so the next record starts clean; if even that fails the
+    /// writer is dropped and the campaign continues memo-only.
     pub fn record(&self, fp: &str, outcome: &JobOutcome) {
         if let JobOutcome::Completed { run, .. } = outcome {
-            lock_unpoisoned(&self.memo).insert(fp.to_string(), (**run).clone());
+            lock_unpoisoned(&self.memo[stripe_of(fp)]).insert(fp.to_string(), (**run).clone());
         }
-        let line = render_record(fp, &lock_unpoisoned(&self.experiment), outcome);
-        let mut guard = lock_unpoisoned(&self.writer);
-        if let Some(w) = guard.as_mut() {
-            if let Err(e) = self.io.append_line(w, &line) {
-                crate::results::log_ckpt_error(&self.path, "append", &e);
-                eprintln!("checkpoint: write to {} failed: {e}", self.path.display());
-                // Terminate whatever prefix landed so the *next* record
-                // gets its own line; the torn one quarantines on resume.
-                let salvage = w.write_all(b"\n").and_then(|()| w.flush());
-                if salvage.is_err() {
-                    *guard = None; // memo-only from here on
-                }
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(DrainMsg::Record(CkptRecord::from_outcome(fp, outcome)));
+        }
+    }
+
+    /// Durability barrier: blocks until every record sent before this
+    /// call has been appended and flushed (or discarded, in memo-only
+    /// mode). The pool calls this before returning from a parallel run;
+    /// the serve layer calls it before journaling a job done.
+    pub fn sync(&self) {
+        if let Some(tx) = &self.tx {
+            let (ack_tx, ack_rx) = mpsc::sync_channel(0);
+            if tx.send(DrainMsg::Flush(ack_tx)).is_ok() {
+                let _ = ack_rx.recv();
             }
         }
     }
 }
 
-/// Renders one checkpoint JSONL record for an outcome.
-fn render_record(fp: &str, experiment: &str, outcome: &JobOutcome) -> String {
-    let mut obj = JsonObject::new();
-    obj.field_str("record", "ckpt")
-        .field_str("fingerprint", fp)
-        .field_str("experiment", experiment)
-        .field_str("benchmark", outcome.benchmark())
-        .field_str("policy", outcome.policy())
-        .field_str("status", outcome.status())
-        .field_u64("attempts", u64::from(outcome.attempts()));
-    match outcome {
-        JobOutcome::Completed { run, .. } => {
-            obj.field_raw("report", &run.report.to_json());
-            let samples: Vec<String> = run.samples.iter().map(|s| s.to_json()).collect();
-            obj.field_raw("samples", &format!("[{}]", samples.join(",")));
-            // Timing fields stay last: the chaos byte-identity test (and
-            // any reader comparing records sans wall-clock noise) strips
-            // the record tail starting at `host_seconds`.
-            obj.field_raw("host_seconds", &format!("{:.6}", run.host_seconds));
-            obj.field_raw("warmup_seconds", &format!("{:.6}", run.warmup_seconds));
-            obj.field_raw("measure_seconds", &format!("{:.6}", run.measure_seconds));
-        }
-        failed => {
-            obj.field_str("error", &failed.describe());
+impl Drop for Campaign {
+    fn drop(&mut self) {
+        // Close the channel, then join: the drain thread finishes the
+        // queued tail and exits, so dropping a campaign is itself a
+        // durability barrier.
+        drop(self.tx.take());
+        if let Some(h) = self.drain.take() {
+            let _ = h.join();
         }
     }
-    obj.finish()
+}
+
+/// Memo stripe index for a fingerprint.
+fn stripe_of(fp: &str) -> usize {
+    (fnv1a64(fp.as_bytes()) as usize) % MEMO_STRIPES
 }
 
 /// Decodes one parsed checkpoint record. `Ok(Some(..))` is a completed
@@ -552,7 +741,9 @@ mod tests {
                 attempts: 1,
             },
         );
-        // Metadata on the line, not in the key.
+        // Metadata on the line, not in the key. `sync` is the barrier
+        // that makes the drained record visible to this read.
+        c.sync();
         let text = std::fs::read_to_string(c.path()).unwrap();
         assert!(text.contains("\"experiment\":\"fig_x\""));
         assert!(!fp.contains("fig_x"));

@@ -50,7 +50,9 @@
 //! * `EMISSARY_PROGRAM_STORE=0` — rebuild each benchmark's program per
 //!   job instead of sharing one `Arc<Program>` per profile per process;
 //! * `EMISSARY_PROGRESS=0` — silence the campaign's stderr progress
-//!   line.
+//!   line;
+//! * `EMISSARY_PIN_CORES=1` — pin each pool worker to a core
+//!   (round-robin over available parallelism; opt-in).
 //!
 //! The Criterion benches (`benches/figures.rs`, `benches/components.rs`)
 //! exercise scaled-down versions of every experiment plus component
@@ -64,6 +66,7 @@ pub mod metrics;
 pub mod pool;
 pub mod results;
 pub mod scale;
+pub mod shard;
 
 pub use pool::{
     run_job, run_parallel, run_parallel_observed, run_parallel_outcomes, JobOutcome, PoolOptions,

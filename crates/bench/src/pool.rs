@@ -3,12 +3,26 @@
 //!
 //! Simulations are CPU-bound and independent; a shared atomic cursor over
 //! the job list gives near-perfect load balancing without external
-//! dependencies. Every job runs under `catch_unwind` plus the simulator's
-//! fault detector, so one panicking, stalling, or over-budget simulation
-//! produces a [`JobOutcome`] describing the failure instead of tearing
-//! down the whole campaign — the worker that caught it moves straight on
-//! to the next job. Completed (and failed) outcomes stream to the active
-//! campaign's checkpoint file as they finish (see [`crate::checkpoint`]).
+//! dependencies. Claiming is **chunked** (guided self-scheduling): a
+//! worker grabs a fraction of the remaining jobs in one `fetch_add`,
+//! shrinking toward per-job claiming at the tail, so large matrices
+//! touch the cursor O(workers·log n) times instead of once per job while
+//! the LPT order still load-balances the tail. Every job runs under
+//! `catch_unwind` plus the simulator's fault detector, so one panicking,
+//! stalling, or over-budget simulation produces a [`JobOutcome`]
+//! describing the failure instead of tearing down the whole campaign —
+//! the worker that caught it moves straight on to the next job.
+//!
+//! Workers own their shared-state traffic: each installs a private
+//! result buffer ([`crate::results::worker_log_scope`]) and streams
+//! checkpoint records through the campaign's single-writer drain
+//! thread, so the steady-state job path acquires **no global mutex**
+//! (tripwired by `emissary_worker_global_lock_acquisitions_total`). The
+//! pool calls [`Campaign::sync`] after the scope joins, so every record
+//! is on disk before this function returns — exactly the visibility the
+//! chaos/resume suites (and the serve journal-before-ack ordering)
+//! assume. `EMISSARY_PIN_CORES=1` additionally pins workers round-robin
+//! to cores.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -340,6 +354,11 @@ pub fn run_parallel_outcomes_hooked(
         for w in 0..workers {
             let cursor = &cursor;
             handles.push(scope.spawn(move || {
+                pin_worker(w);
+                // Private result buffer: every `results::log_*` call from
+                // this worker lands here and drains into the process
+                // globals once, when the scope drops after the last job.
+                let _log_scope = results::worker_log_scope();
                 // Per-worker metrics cells: plain u64 adds while the
                 // worker runs, one merge into the global registry at
                 // exit. Nothing here executes inside the cycle loop.
@@ -348,31 +367,51 @@ pub fn run_parallel_outcomes_hooked(
                 let wall_start = Instant::now();
                 let mut busy_ns = 0u64;
                 let mut local = Vec::new();
-                loop {
+                'claim: loop {
                     // Cooperative shutdown: stop claiming jobs; everything
                     // already completed is flushed to the checkpoint, and
                     // unclaimed jobs surface as `Interrupted` outcomes.
                     if chaos::shutdown_requested() {
                         break;
                     }
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
+                    // Guided self-scheduling: claim a 1/(2·workers) slice
+                    // of the remaining jobs in one fetch_add (capped so a
+                    // stale `remaining` read cannot hoard), degrading to
+                    // per-job claiming at the tail so the LPT order still
+                    // load-balances the stragglers.
+                    let claimed = cursor.load(Ordering::Relaxed);
+                    let remaining = jobs.len().saturating_sub(claimed);
+                    if remaining == 0 {
                         break;
                     }
-                    let job_start = Instant::now();
-                    let outcome = run_one(&jobs[i], opts, campaign, &hub, &worker);
-                    let job_ns = metrics::elapsed_ns(job_start);
-                    busy_ns += job_ns;
-                    hub.with(|m| {
-                        m.record(metrics::JOB_NS, &[("worker", &worker)], job_ns);
-                        m.count(
-                            metrics::JOBS_TOTAL,
-                            &[("worker", &worker), ("status", outcome.status())],
-                            1,
-                        );
-                    });
-                    hook(i, &outcome);
-                    local.push((i, outcome));
+                    let want = (remaining / (workers * 2)).clamp(1, 32);
+                    let start = cursor.fetch_add(want, Ordering::Relaxed);
+                    if start >= jobs.len() {
+                        break;
+                    }
+                    let end = start.saturating_add(want).min(jobs.len());
+                    for (i, job) in jobs.iter().enumerate().take(end).skip(start) {
+                        // A chunk claimed before shutdown still honors it:
+                        // unrun jobs stay unrecorded and surface as
+                        // `Interrupted`, exactly like unclaimed ones.
+                        if chaos::shutdown_requested() {
+                            break 'claim;
+                        }
+                        let job_start = Instant::now();
+                        let outcome = run_one(job, opts, campaign, &hub, &worker);
+                        let job_ns = metrics::elapsed_ns(job_start);
+                        busy_ns += job_ns;
+                        hub.with(|m| {
+                            m.record(metrics::JOB_NS, &[("worker", &worker)], job_ns);
+                            m.count(
+                                metrics::JOBS_TOTAL,
+                                &[("worker", &worker), ("status", outcome.status())],
+                                1,
+                            );
+                        });
+                        hook(i, &outcome);
+                        local.push((i, outcome));
+                    }
                 }
                 hub.with(|m| {
                     m.count(metrics::WORKER_BUSY_NS, &[("worker", &worker)], busy_ns);
@@ -391,6 +430,20 @@ pub fn run_parallel_outcomes_hooked(
             .flat_map(|h| h.join().expect("worker panics are caught per job"))
             .collect()
     });
+    // Durability barrier: every record the workers sent is on disk (or
+    // discarded, memo-only) before the pool returns — callers read the
+    // checkpoint file immediately after.
+    if let Some(c) = campaign {
+        c.sync();
+        if scale::metrics() {
+            emissary_obs::metrics::global().set_gauge(
+                metrics::CKPT_DRAINED,
+                &[],
+                c.drained_records() as f64,
+            );
+        }
+    }
+    metrics::publish_worker_global_locks();
     for (i, r) in results {
         slots[i] = Some(r);
     }
@@ -540,6 +593,47 @@ pub(crate) fn run_one(
     outcome
 }
 
+/// Pins the calling thread to a core chosen round-robin by worker
+/// `index`, when `EMISSARY_PIN_CORES=1` (default off). Keeps the hot
+/// cycle loop's working set on one L1/L2 instead of migrating with the
+/// scheduler. Best-effort and Linux-only: failures warn and run
+/// unpinned; other platforms are a no-op. Callable from any long-lived
+/// worker (the serve daemon pins its workers too).
+pub fn pin_worker(index: usize) {
+    if !scale::pin_cores() {
+        return;
+    }
+    #[cfg(target_os = "linux")]
+    affinity::pin_to(index);
+    #[cfg(not(target_os = "linux"))]
+    let _ = index;
+}
+
+#[cfg(target_os = "linux")]
+mod affinity {
+    // The C library is already linked by std (mirroring the `signal`
+    // binding in `crate::chaos`); no crate dependency needed for one
+    // syscall wrapper. With pid 0 the affinity applies to the calling
+    // thread.
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    pub fn pin_to(index: usize) {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let core = index % cores;
+        // 16 × u64 = 1024 CPUs, the kernel's default CONFIG_NR_CPUS cap.
+        let mut mask = [0u64; 16];
+        mask[core / 64] |= 1u64 << (core % 64);
+        let rc = unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) };
+        if rc != 0 {
+            eprintln!("pool: pinning worker {index} to core {core} failed; running unpinned");
+        }
+    }
+}
+
 /// Renders a caught panic payload (the two shapes `panic!` produces).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -603,6 +697,19 @@ mod tests {
             .map(|r| r.cycles)
             .collect();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn chunked_claiming_covers_every_job_exactly_once() {
+        // Enough jobs that workers claim multi-job chunks before the
+        // tail degrades to per-job claiming: every slot must be filled,
+        // in order, with no job run twice (the pool would panic on a
+        // double write only via result divergence, so completeness is
+        // the assertion).
+        let jobs = quick_jobs(40);
+        let outcomes = run_parallel_outcomes_with(&jobs, &PoolOptions::with_workers(4), None);
+        assert_eq!(outcomes.len(), 40);
+        assert!(outcomes.iter().all(|o| o.status() == "completed"));
     }
 
     #[test]

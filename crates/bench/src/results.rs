@@ -23,6 +23,7 @@
 //! each [`emit`]/[`write_experiment`], matching the
 //! one-experiment-at-a-time structure of the binaries.
 
+use std::cell::{Cell, RefCell};
 use std::fs;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -40,6 +41,81 @@ static RUN_LOG: Mutex<Vec<SimRun>> = Mutex::new(Vec::new());
 static TRACE_ERRORS: Mutex<Vec<TraceError>> = Mutex::new(Vec::new());
 static FAILURES: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
 static CKPT_ERRORS: Mutex<Vec<CkptError>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Per-worker result buffer, installed by [`worker_log_scope`]. When
+    /// present, every `log_*` call on this thread appends here — no
+    /// global mutex — and the buffer drains into the process-global logs
+    /// exactly once, when the scope drops at worker exit.
+    static LOCAL_LOG: RefCell<Option<Box<LocalLog>>> = const { RefCell::new(None) };
+    /// Whether this thread is a pool/serve worker. A worker that reaches
+    /// a global log mutex anyway (a regression re-introducing shared
+    /// state on the job path) trips the
+    /// `emissary_worker_global_lock_acquisitions_total` counter.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+#[derive(Default)]
+struct LocalLog {
+    runs: Vec<SimRun>,
+    trace_errors: Vec<TraceError>,
+    failures: Vec<JobFailure>,
+    ckpt_errors: Vec<CkptError>,
+}
+
+/// Runs `f` against this thread's local buffer, or returns `None` (take
+/// the global path) when no worker scope is installed.
+fn with_local<T>(f: impl FnOnce(&mut LocalLog) -> T) -> Option<T> {
+    LOCAL_LOG.with(|l| l.borrow_mut().as_deref_mut().map(f))
+}
+
+/// Tripwire for the global fallback path: counts the acquisition when
+/// taken from a worker thread. Structurally zero — workers always have a
+/// local buffer — so a nonzero count is a contention regression, and the
+/// scaling stress test asserts exactly that.
+fn note_global_path() {
+    if IS_WORKER.with(Cell::get) {
+        metrics::note_worker_global_lock();
+    }
+}
+
+/// Marks this thread as a pool worker and installs its private result
+/// buffer. On drop the buffer drains into the process-global logs in one
+/// lock acquisition per log — the only time a worker touches them.
+/// Returned guard must outlive every job the worker runs.
+pub fn worker_log_scope() -> WorkerLogScope {
+    LOCAL_LOG.with(|l| *l.borrow_mut() = Some(Box::default()));
+    IS_WORKER.with(|w| w.set(true));
+    WorkerLogScope { _priv: () }
+}
+
+/// RAII guard for a worker's private result buffer (see
+/// [`worker_log_scope`]).
+pub struct WorkerLogScope {
+    _priv: (),
+}
+
+impl Drop for WorkerLogScope {
+    fn drop(&mut self) {
+        let buf = LOCAL_LOG.with(|l| l.borrow_mut().take());
+        IS_WORKER.with(|w| w.set(false));
+        let Some(buf) = buf else { return };
+        // The end-of-scope drain is the sanctioned global touch: one
+        // acquisition per non-empty log per worker, after the last job.
+        if !buf.runs.is_empty() {
+            lock_unpoisoned(&RUN_LOG).extend(buf.runs);
+        }
+        if !buf.trace_errors.is_empty() {
+            lock_unpoisoned(&TRACE_ERRORS).extend(buf.trace_errors);
+        }
+        if !buf.failures.is_empty() {
+            lock_unpoisoned(&FAILURES).extend(buf.failures);
+        }
+        if !buf.ckpt_errors.is_empty() {
+            lock_unpoisoned(&CKPT_ERRORS).extend(buf.ckpt_errors);
+        }
+    }
+}
 
 /// A failed attempt to open a per-job event-trace sink: the run proceeded
 /// untraced, and the experiment's results file records the degradation.
@@ -273,29 +349,50 @@ pub fn load_campaign_other_labels(path: &str, label: &str) -> Vec<CampaignEntry>
         .collect()
 }
 
-/// Appends one run to the process-global run log.
+/// Appends one run to this worker's buffer, or the process-global run
+/// log outside a worker scope.
 pub fn log_run(run: &SimRun) {
+    if with_local(|l| l.runs.push(run.clone())).is_some() {
+        return;
+    }
+    note_global_path();
     lock_unpoisoned(&RUN_LOG).push(run.clone());
 }
 
 /// Records a failed trace-sink open (or a sink that degraded mid-run) in
-/// the process-global log.
+/// this worker's buffer, or the process-global log outside a scope.
 pub fn log_trace_error(benchmark: &str, policy: &str, path: &str, error: &str) {
-    lock_unpoisoned(&TRACE_ERRORS).push(TraceError {
+    let te = TraceError {
         benchmark: benchmark.to_string(),
         policy: policy.to_string(),
         path: path.to_string(),
         error: error.to_string(),
-    });
+    };
+    match with_local(|l| l.trace_errors.push(te.clone())) {
+        Some(()) => {}
+        None => {
+            note_global_path();
+            lock_unpoisoned(&TRACE_ERRORS).push(te);
+        }
+    }
 }
 
-/// Records a checkpoint I/O failure in the process-global log.
+/// Records a checkpoint I/O failure in this worker's buffer, or the
+/// process-global log outside a scope (the checkpoint drain thread and
+/// campaign open both land here).
 pub fn log_ckpt_error(path: &Path, op: &str, error: &io::Error) {
-    lock_unpoisoned(&CKPT_ERRORS).push(CkptError {
+    let ce = CkptError {
         path: path.display().to_string(),
         op: op.to_string(),
         error: error.to_string(),
-    });
+    };
+    match with_local(|l| l.ckpt_errors.push(ce.clone())) {
+        Some(()) => {}
+        None => {
+            note_global_path();
+            lock_unpoisoned(&CKPT_ERRORS).push(ce);
+        }
+    }
 }
 
 impl JobFailure {
@@ -316,11 +413,11 @@ impl JobFailure {
     }
 }
 
-/// Records a failed job outcome in the process-global log (completed
-/// outcomes are ignored).
+/// Records a failed job outcome in this worker's buffer, or the
+/// process-global log outside a scope (completed outcomes are ignored).
 pub fn log_failure(outcome: &crate::pool::JobOutcome) {
     if let Some(f) = JobFailure::from_outcome(outcome) {
-        lock_unpoisoned(&FAILURES).push(f);
+        push_failure(f);
     }
 }
 
@@ -330,12 +427,26 @@ pub fn log_failure(outcome: &crate::pool::JobOutcome) {
 pub fn log_retried_failure(outcome: &crate::pool::JobOutcome) {
     if let Some(mut f) = JobFailure::from_outcome(outcome) {
         f.retried = true;
-        lock_unpoisoned(&FAILURES).push(f);
+        push_failure(f);
+    }
+}
+
+fn push_failure(f: JobFailure) {
+    match with_local(|l| l.failures.push(f.clone())) {
+        Some(()) => {}
+        None => {
+            note_global_path();
+            lock_unpoisoned(&FAILURES).push(f);
+        }
     }
 }
 
 /// Appends runs to the process-global run log (in the given order).
 pub fn log_runs(runs: &[SimRun]) {
+    if with_local(|l| l.runs.extend_from_slice(runs)).is_some() {
+        return;
+    }
+    note_global_path();
     lock_unpoisoned(&RUN_LOG).extend_from_slice(runs);
 }
 
@@ -664,6 +775,28 @@ mod tests {
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].label, "after");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn worker_scope_buffers_until_drop() {
+        let marker = format!("scope-test-{}", std::process::id());
+        let m2 = marker.clone();
+        std::thread::spawn(move || {
+            let _scope = worker_log_scope();
+            log_trace_error("bench", "M:1", &m2, "buffered");
+            // Still buffered: the global log must not hold it yet.
+            assert!(!lock_unpoisoned(&TRACE_ERRORS).iter().any(|t| t.path == m2));
+        })
+        .join()
+        .unwrap();
+        // Scope dropped at thread exit → drained into the global log.
+        let mut all = take_trace_errors();
+        assert_eq!(all.iter().filter(|t| t.path == marker).count(), 1);
+        // Re-log everything that belongs to concurrently running tests.
+        all.retain(|t| t.path != marker);
+        for t in all {
+            log_trace_error(&t.benchmark, &t.policy, &t.path, &t.error);
+        }
     }
 
     #[test]

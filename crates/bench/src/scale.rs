@@ -167,6 +167,16 @@ pub fn metrics_interval_ms() -> Option<u64> {
         .filter(|&v| v > 0)
 }
 
+/// Whether pool workers pin themselves to cores (`EMISSARY_PIN_CORES=1`,
+/// default off). Pinning trades scheduler freedom for cache locality;
+/// it only helps when the host is otherwise idle and the worker count
+/// matches the core count, so it stays opt-in.
+pub fn pin_cores() -> bool {
+    env::var("EMISSARY_PIN_CORES")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 /// Worker threads (`EMISSARY_THREADS`, default: available parallelism).
 pub fn threads() -> usize {
     env::var("EMISSARY_THREADS")
@@ -253,6 +263,12 @@ mod tests {
             env::var("EMISSARY_PROGRESS")
                 .map(|v| v != "0")
                 .unwrap_or(true)
+        );
+        assert_eq!(
+            pin_cores(),
+            env::var("EMISSARY_PIN_CORES")
+                .map(|v| v == "1")
+                .unwrap_or(false)
         );
     }
 }

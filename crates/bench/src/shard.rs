@@ -1,0 +1,234 @@
+//! Fixed-slot atomic registry: named counters without a lock on the hot
+//! path.
+//!
+//! Several per-name tallies used to live in `Mutex<HashMap<String, _>>`
+//! maps that every worker hit between (or during) jobs — the chaos
+//! fault-site counters and the campaign cost model among them. The name
+//! sets are tiny and stable (a dozen fault sites, thirteen benchmarks),
+//! so a fixed array of atomic slots serves the same purpose with zero
+//! locks on the read/update path:
+//!
+//! - **Lookup** is a lock-free linear scan over the published prefix of
+//!   a fixed slot array. With ≤ a few dozen names the scan is a handful
+//!   of pointer compares against interned `&'static`-like strings.
+//! - **Registration** (first use of a name) serializes on a small mutex,
+//!   re-scans under the lock, then publishes the new slot with a
+//!   release store of the length. Readers acquire-load the length, so a
+//!   slot is only ever observed fully initialized.
+//! - **Updates** are `fetch_add`s on the slot's two `u64` cells. Two
+//!   cells per slot cover both use cases: a plain event counter (cell A
+//!   alone) and a fixed-point mean (cell A = scaled sum, cell B =
+//!   sample count) — the latter keeps the cost model's observed-MIPS
+//!   mean exact for the precisions we feed it.
+//!
+//! If a program somehow exceeds [`SlotRegistry::CAPACITY`] distinct
+//! names, later names spill into a mutex-guarded overflow map: slower,
+//! but never lossy and never panicking. Steady-state paths stay
+//! lock-free.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::chaos::lock_unpoisoned;
+
+/// A registry instance. Cheap enough to embed per owning struct (each
+/// `FaultPlan` and each `CostModel` carries its own), so tests that
+/// build several independent plans never share counter state.
+pub struct SlotRegistry {
+    names: [OnceLock<String>; SlotRegistry::CAPACITY],
+    cell_a: [AtomicU64; SlotRegistry::CAPACITY],
+    cell_b: [AtomicU64; SlotRegistry::CAPACITY],
+    /// Number of initialized slots; stored with `Release` after the
+    /// slot's name is set, loaded with `Acquire` before scanning.
+    len: AtomicUsize,
+    /// Serializes registration only — never taken on lookup hits.
+    register: Mutex<()>,
+    /// Spill map for names beyond `CAPACITY`. Practically unreachable.
+    overflow: Mutex<HashMap<String, (u64, u64)>>,
+}
+
+impl SlotRegistry {
+    /// Fixed slot count. Far above the real name population (chaos has
+    /// ~a dozen sites, the cost model thirteen benchmarks).
+    pub const CAPACITY: usize = 64;
+
+    pub fn new() -> Self {
+        Self {
+            names: std::array::from_fn(|_| OnceLock::new()),
+            cell_a: std::array::from_fn(|_| AtomicU64::new(0)),
+            cell_b: std::array::from_fn(|_| AtomicU64::new(0)),
+            len: AtomicUsize::new(0),
+            register: Mutex::new(()),
+            overflow: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Lock-free lookup of an existing slot.
+    fn find(&self, name: &str) -> Option<usize> {
+        let len = self.len.load(Ordering::Acquire);
+        (0..len).find(|&i| self.names[i].get().is_some_and(|n| n == name))
+    }
+
+    /// Slot index for `name`, registering it on first use. `None` once
+    /// the fixed slots are exhausted (callers fall back to `overflow`).
+    fn slot(&self, name: &str) -> Option<usize> {
+        if let Some(i) = self.find(name) {
+            return Some(i);
+        }
+        let _guard = lock_unpoisoned(&self.register);
+        // Re-scan under the lock: another thread may have registered the
+        // same name between our miss and the acquisition.
+        if let Some(i) = self.find(name) {
+            return Some(i);
+        }
+        let len = self.len.load(Ordering::Acquire);
+        if len >= Self::CAPACITY {
+            return None;
+        }
+        self.names[len]
+            .set(name.to_string())
+            .expect("unpublished slot already named");
+        self.len.store(len + 1, Ordering::Release);
+        Some(len)
+    }
+
+    /// Adds `v` to cell A of `name`'s slot and returns the *previous*
+    /// value — i.e. `fetch_add` semantics, which is exactly what a
+    /// per-site call counter needs.
+    pub fn fetch_add(&self, name: &str, v: u64) -> u64 {
+        match self.slot(name) {
+            Some(i) => self.cell_a[i].fetch_add(v, Ordering::Relaxed),
+            None => {
+                let mut map = lock_unpoisoned(&self.overflow);
+                let e = map.entry(name.to_string()).or_insert((0, 0));
+                let prev = e.0;
+                e.0 += v;
+                prev
+            }
+        }
+    }
+
+    /// Accumulates a (cell A, cell B) pair — e.g. scaled sum + count.
+    pub fn add_pair(&self, name: &str, a: u64, b: u64) {
+        match self.slot(name) {
+            Some(i) => {
+                self.cell_a[i].fetch_add(a, Ordering::Relaxed);
+                self.cell_b[i].fetch_add(b, Ordering::Relaxed);
+            }
+            None => {
+                let mut map = lock_unpoisoned(&self.overflow);
+                let e = map.entry(name.to_string()).or_insert((0, 0));
+                e.0 += a;
+                e.1 += b;
+            }
+        }
+    }
+
+    /// Current (cell A, cell B) for `name`, if it was ever touched.
+    pub fn get_pair(&self, name: &str) -> Option<(u64, u64)> {
+        if let Some(i) = self.find(name) {
+            return Some((
+                self.cell_a[i].load(Ordering::Relaxed),
+                self.cell_b[i].load(Ordering::Relaxed),
+            ));
+        }
+        lock_unpoisoned(&self.overflow).get(name).copied()
+    }
+
+    /// Snapshot of every registered name and its cells, registration
+    /// order first, overflow entries (if any) sorted by name after.
+    pub fn snapshot(&self) -> Vec<(String, u64, u64)> {
+        let len = self.len.load(Ordering::Acquire);
+        let mut out: Vec<(String, u64, u64)> = (0..len)
+            .filter_map(|i| {
+                self.names[i].get().map(|n| {
+                    (
+                        n.clone(),
+                        self.cell_a[i].load(Ordering::Relaxed),
+                        self.cell_b[i].load(Ordering::Relaxed),
+                    )
+                })
+            })
+            .collect();
+        let mut spill: Vec<(String, u64, u64)> = lock_unpoisoned(&self.overflow)
+            .iter()
+            .map(|(n, &(a, b))| (n.clone(), a, b))
+            .collect();
+        spill.sort();
+        out.extend(spill);
+        out
+    }
+}
+
+impl Default for SlotRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SlotRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for (name, a, b) in self.snapshot() {
+            m.entry(&name, &(a, b));
+        }
+        m.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_add_returns_previous_value_per_name() {
+        let r = SlotRegistry::new();
+        assert_eq!(r.fetch_add("a", 1), 0);
+        assert_eq!(r.fetch_add("a", 1), 1);
+        assert_eq!(r.fetch_add("b", 1), 0, "names do not share counters");
+        assert_eq!(r.fetch_add("a", 1), 2);
+        assert_eq!(r.get_pair("a"), Some((3, 0)));
+    }
+
+    #[test]
+    fn pairs_accumulate_exactly() {
+        let r = SlotRegistry::new();
+        r.add_pair("xapian", 10_000, 1);
+        r.add_pair("xapian", 20_000, 1);
+        assert_eq!(r.get_pair("xapian"), Some((30_000, 2)));
+        assert_eq!(r.get_pair("tpcc"), None);
+    }
+
+    #[test]
+    fn overflow_beyond_capacity_is_lossless() {
+        let r = SlotRegistry::new();
+        for i in 0..SlotRegistry::CAPACITY + 8 {
+            assert_eq!(r.fetch_add(&format!("site-{i}"), 1), 0);
+        }
+        for i in 0..SlotRegistry::CAPACITY + 8 {
+            assert_eq!(r.get_pair(&format!("site-{i}")), Some((1, 0)), "site-{i}");
+        }
+        assert_eq!(r.snapshot().len(), SlotRegistry::CAPACITY + 8);
+    }
+
+    #[test]
+    fn concurrent_registration_converges_on_one_slot_per_name() {
+        let r = SlotRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..32 {
+                        r.fetch_add(&format!("n{}", i % 4), 1);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 4, "duplicate slots registered: {snap:?}");
+        for (_, a, _) in snap {
+            assert_eq!(a, 64);
+        }
+    }
+}

@@ -330,6 +330,34 @@ impl MetricsRegistry {
         all
     }
 
+    /// Adds `v` to one counter series directly — registration and merge
+    /// in a single lock acquisition. For process-level counters with no
+    /// owning worker hub (e.g. drain-thread and pool-end aggregates);
+    /// per-update paths should keep using [`LocalMetrics`] cells.
+    pub fn add_counter(&self, name: &'static str, labels: &[(&'static str, &str)], v: u64) {
+        self.merge_entries(vec![Metric {
+            name,
+            labels: labels
+                .iter()
+                .map(|&(k, val)| (k, val.to_string()))
+                .collect(),
+            value: MetricValue::Counter(v),
+        }]);
+    }
+
+    /// Sets one gauge series directly (last-write-wins), same shape as
+    /// [`MetricsRegistry::add_counter`].
+    pub fn set_gauge(&self, name: &'static str, labels: &[(&'static str, &str)], v: f64) {
+        self.merge_entries(vec![Metric {
+            name,
+            labels: labels
+                .iter()
+                .map(|&(k, val)| (k, val.to_string()))
+                .collect(),
+            value: MetricValue::Gauge(v),
+        }]);
+    }
+
     /// Sum of every counter series in family `name` (0 when absent).
     pub fn counter_total(&self, name: &str) -> u64 {
         self.lock()
@@ -496,6 +524,25 @@ mod tests {
         assert_eq!(depth.value, MetricValue::Gauge(4.0));
         reg.clear();
         assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn direct_registry_updates_merge_like_drained_cells() {
+        let reg = MetricsRegistry::new();
+        reg.add_counter("direct", &[("site", "x")], 2);
+        reg.add_counter("direct", &[("site", "x")], 3);
+        reg.add_counter("direct", &[("site", "y")], 1);
+        reg.set_gauge("level", &[], 1.5);
+        reg.set_gauge("level", &[], 2.5);
+        assert_eq!(reg.counter_total("direct"), 6);
+        let snap = reg.snapshot();
+        let level = snap.iter().find(|m| m.name == "level").unwrap();
+        assert_eq!(level.value, MetricValue::Gauge(2.5));
+        // Interoperates with hub-drained series of the same identity.
+        let mut m = LocalMetrics::new();
+        m.count("direct", &[("site", "x")], 10);
+        reg.merge(&mut m);
+        assert_eq!(reg.counter_total("direct"), 16);
     }
 
     #[test]

@@ -255,6 +255,11 @@ impl Server {
                 thread::Builder::new()
                     .name(format!("serve-worker-{w}"))
                     .spawn(move || {
+                        emissary_bench::pool::pin_worker(w);
+                        // Worker-local result buffers: failures and
+                        // trace/ckpt errors accumulate here and drain to
+                        // the process logs when the worker exits.
+                        let _log_scope = emissary_bench::results::worker_log_scope();
                         let name = format!("serve-{w}");
                         while let Some(ticket) = shared.queue.next() {
                             run_ticket(&shared, &ticket, &name);
@@ -822,6 +827,11 @@ fn finish(
     shared
         .jobs
         .set_terminal(&ticket.id, status, detail, attempts, resumed, report_json);
+    // Checkpoint-before-journal: the campaign's drain thread must have
+    // durably appended this job's result before the journal records it
+    // `done` — otherwise a crash in the gap would replay a "done" job
+    // with no memoized result. `sync()` is the drain-point barrier.
+    shared.campaign.sync();
     shared.journal.append_done(&ticket.id, status.name());
     lock_unpoisoned(&shared.specs).remove(&ticket.id);
     shared.queue.done(&ticket.tenant);
